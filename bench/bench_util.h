@@ -1,0 +1,29 @@
+// Shared helpers for the reproduction benches: config builders matching the paper's machine
+// columns and a paper-vs-measured row printer feeding EXPERIMENTS.md.
+
+#ifndef PPCMM_BENCH_BENCH_UTIL_H_
+#define PPCMM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/workloads/report.h"
+
+namespace ppcmm {
+
+// Prints one paper-vs-measured line: the absolute numbers will differ (our substrate is a
+// simulator, not the authors' PowerMacs), the ratios and orderings are what must hold.
+inline void PaperVsMeasured(const char* metric, double paper, double measured,
+                            const char* unit) {
+  std::printf("  %-34s paper %10.1f %-6s  measured %10.1f %-6s  ratio %.2fx\n", metric, paper,
+              unit, measured, unit, paper > 0 ? measured / paper : 0.0);
+}
+
+inline void Headline(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,275 @@
+// Google-benchmark microbenchmarks over the primitive operations the paper's cost model is
+// built from: TLB reloads by strategy, HTAB search/insert, per-page and lazy flushes,
+// syscalls and context switches. These measure *simulated* cycles per operation (reported
+// as the "sim_cycles" counter) as well as host throughput of the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+
+namespace ppcmm {
+namespace {
+
+std::unique_ptr<System> NewSystem(ReloadStrategy strategy, bool optimized) {
+  OptimizationConfig config = OptimizationConfig::AllOptimizations();
+  config.optimized_handlers = optimized;
+  config.no_htab_direct_reload = strategy == ReloadStrategy::kSoftwareDirect;
+  const MachineConfig machine = strategy == ReloadStrategy::kHardwareHtabWalk
+                                    ? MachineConfig::Ppc604(185)
+                                    : MachineConfig::Ppc603(180);
+  return std::make_unique<System>(machine, config);
+}
+
+TaskId Spawn(Kernel& kernel) {
+  const TaskId id = kernel.CreateTask("bench");
+  kernel.Exec(id, ExecImage{.text_pages = 8, .data_pages = 256, .stack_pages = 4});
+  kernel.SwitchTo(id);
+  return id;
+}
+
+// One TLB miss + reload per iteration: a strided walk wider than the DTLB.
+void BM_TlbReload(benchmark::State& state) {
+  const auto strategy = static_cast<ReloadStrategy>(state.range(0));
+  auto system = NewSystem(strategy, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  Spawn(kernel);
+  for (uint32_t p = 0; p < 200; ++p) {
+    kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize), AccessKind::kStore);
+  }
+  const uint64_t cycles0 = system->counters().cycles;
+  const uint64_t misses0 = system->counters().dtlb_misses;
+  uint32_t page = 0;
+  for (auto _ : state) {
+    kernel.UserTouch(EffAddr(kUserDataBase + page * kPageSize), AccessKind::kLoad);
+    page = (page + 1) % 200;
+  }
+  const uint64_t misses = system->counters().dtlb_misses - misses0;
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+  state.counters["miss_rate"] =
+      benchmark::Counter(static_cast<double>(misses) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TlbReload)
+    ->Arg(static_cast<int>(ReloadStrategy::kHardwareHtabWalk))
+    ->Arg(static_cast<int>(ReloadStrategy::kSoftwareHtab))
+    ->Arg(static_cast<int>(ReloadStrategy::kSoftwareDirect));
+
+void BM_NullSyscall(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, state.range(0) != 0);
+  Kernel& kernel = system->kernel();
+  Spawn(kernel);
+  kernel.NullSyscall();
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    kernel.NullSyscall();
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_NullSyscall)->Arg(0)->Arg(1);  // 0 = C handlers, 1 = optimized
+
+void BM_ContextSwitch(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  const TaskId a = Spawn(kernel);
+  const TaskId b = Spawn(kernel);
+  const uint64_t cycles0 = system->counters().cycles;
+  bool flip = false;
+  for (auto _ : state) {
+    kernel.SwitchTo(flip ? a : b);
+    flip = !flip;
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ContextSwitch);
+
+void BM_EagerPageFlush(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  const TaskId t = Spawn(kernel);
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);
+  Task& task = kernel.task(t);
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    kernel.flusher().FlushPage(*task.mm, EffAddr(kUserDataBase));
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_EagerPageFlush);
+
+void BM_LazyContextFlush(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  const TaskId t = Spawn(kernel);
+  Task& task = kernel.task(t);
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    kernel.flusher().FlushContext(*task.mm, /*mm_is_current=*/true);
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_LazyContextFlush);
+
+void BM_HtabSearchHit(benchmark::State& state) {
+  Machine machine(MachineConfig::Ppc604(185));
+  HashTable htab(2048, PhysAddr(kHtabPhysBase));
+  AllLiveVsidOracle oracle;
+  NullMemCharger charger;
+  const HashedPte pte{.valid = true, .vsid = Vsid(0x42), .page_index = 0x7, .rpn = 0x100,
+                      .cache_inhibited = false, .writable = true, .referenced = false,
+                      .changed = false};
+  htab.Insert(pte, oracle, charger);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htab.Search(pte.virt_page(), charger));
+  }
+}
+BENCHMARK(BM_HtabSearchHit);
+
+void BM_HtabSearchMiss(benchmark::State& state) {
+  HashTable htab(2048, PhysAddr(kHtabPhysBase));
+  NullMemCharger charger;
+  const VirtPage vp{.vsid = Vsid(0x9999), .page_index = 0x33};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htab.Search(vp, charger));
+  }
+}
+BENCHMARK(BM_HtabSearchMiss);
+
+void BM_PageFault(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  Spawn(kernel);
+  const uint32_t start = kernel.Mmap(4096);
+  uint32_t page = 0;
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    kernel.UserTouch(EffAddr::FromPage(start + page), AccessKind::kStore);
+    ++page;
+    if (page == 4000) {  // recycle the address space before RAM runs out
+      state.PauseTiming();
+      kernel.Munmap(start, 4096);
+      kernel.Mmap(4096, MmapOptions{.fixed_page = start});
+      page = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PageFault);
+
+void BM_DirtyBitTrap(benchmark::State& state) {
+  // Deferred C-bit maintenance: one first-store trap per iteration.
+  OptimizationConfig config = OptimizationConfig::Baseline();
+  config.optimized_handlers = true;
+  auto system = std::make_unique<System>(MachineConfig::Ppc604(185), config);
+  Kernel& kernel = system->kernel();
+  Spawn(kernel);
+  // A pool of pages faulted in via loads (clean), re-armed by re-faulting after each sweep.
+  const uint32_t start = kernel.Mmap(256, MmapOptions{.writable = true});
+  for (uint32_t p = 0; p < 256; ++p) {
+    kernel.UserTouch(EffAddr::FromPage(start + p), AccessKind::kLoad);
+  }
+  uint32_t page = 0;
+  uint64_t trap_cycles = 0;  // only the stores themselves; re-arm work is excluded
+  for (auto _ : state) {
+    const uint64_t before = system->counters().cycles;
+    kernel.UserTouch(EffAddr::FromPage(start + page), AccessKind::kStore);
+    trap_cycles += system->counters().cycles - before;
+    if (++page == 256) {
+      state.PauseTiming();
+      kernel.Munmap(start, 256);
+      kernel.Mmap(256, MmapOptions{.fixed_page = start});
+      for (uint32_t p = 0; p < 256; ++p) {
+        kernel.UserTouch(EffAddr::FromPage(start + p), AccessKind::kLoad);
+      }
+      page = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(trap_cycles) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DirtyBitTrap);
+
+void BM_Prefetch(benchmark::State& state) {
+  Machine machine(MachineConfig::Ppc604(185));
+  uint32_t addr = 0;
+  for (auto _ : state) {
+    machine.PrefetchData(PhysAddr(addr));
+    addr = (addr + 32) & 0xFFFFF;
+  }
+}
+BENCHMARK(BM_Prefetch);
+
+void BM_PipeRoundTrip(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  const TaskId a = Spawn(kernel);
+  const TaskId b = Spawn(kernel);
+  const uint32_t pipe = kernel.CreatePipe();
+  kernel.SwitchTo(a);
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    kernel.PipeWrite(pipe, EffAddr(kUserDataBase), 1);
+    kernel.SwitchTo(b);
+    kernel.PipeRead(pipe, EffAddr(kUserDataBase), 1);
+    kernel.SwitchTo(a);
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PipeRoundTrip);
+
+void BM_ForkExit(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  const TaskId parent = Spawn(kernel);
+  // A modest resident set so fork has PTEs to copy-protect.
+  for (uint32_t p = 0; p < 24; ++p) {
+    kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize), AccessKind::kStore);
+  }
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    const TaskId child = kernel.Fork(parent);
+    kernel.Exit(child);
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ForkExit);
+
+void BM_ShmAttachDetach(benchmark::State& state) {
+  auto system = NewSystem(ReloadStrategy::kHardwareHtabWalk, /*optimized=*/true);
+  Kernel& kernel = system->kernel();
+  Spawn(kernel);
+  const uint32_t shm = kernel.ShmCreate(16);
+  const uint64_t cycles0 = system->counters().cycles;
+  for (auto _ : state) {
+    const uint32_t start = kernel.ShmAttach(shm);
+    kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+    kernel.ShmDetach(start, 16);
+  }
+  state.counters["sim_cycles_per_op"] = benchmark::Counter(
+      static_cast<double>(system->counters().cycles - cycles0) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ShmAttachDetach);
+
+}  // namespace
+}  // namespace ppcmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// §6.1 — "Fast reload code": hand-optimized miss/exception handlers.
+//
+// Paper: rewriting the handlers in scheduled assembly using only the swapped interrupt
+// registers produced a 33% reduction in context-switch time, 15% lower communication
+// latencies, and ~15% better user wall-clock in general.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/kernel_compile.h"
+#include "src/workloads/lmbench.h"
+#include "src/workloads/report.h"
+
+namespace ppcmm {
+namespace {
+
+int Main() {
+  Headline("Section 6.1: C handlers vs hand-optimized assembly handlers (603/133)");
+
+  System slow(MachineConfig::Ppc603(133), OptimizationConfig::Baseline());
+  System fast(MachineConfig::Ppc603(133), OptimizationConfig::OnlyFastHandlers());
+  LmBench slow_suite(slow);
+  LmBench fast_suite(fast);
+  const LmBenchResult rs = slow_suite.RunAll();
+  const LmBenchResult rf = fast_suite.RunAll();
+
+  TextTable table({"metric", "C handlers", "optimized", "reduction"});
+  auto reduction = [](double a, double b) {
+    return TextTable::Num((a - b) / a * 100.0, 1) + "%";
+  };
+  table.AddRow({"ctxsw (2p)", TextTable::Us(rs.ctxsw_2p_us), TextTable::Us(rf.ctxsw_2p_us),
+                reduction(rs.ctxsw_2p_us, rf.ctxsw_2p_us)});
+  table.AddRow({"ctxsw (8p)", TextTable::Us(rs.ctxsw_8p_us), TextTable::Us(rf.ctxsw_8p_us),
+                reduction(rs.ctxsw_8p_us, rf.ctxsw_8p_us)});
+  table.AddRow({"pipe latency", TextTable::Us(rs.pipe_latency_us),
+                TextTable::Us(rf.pipe_latency_us),
+                reduction(rs.pipe_latency_us, rf.pipe_latency_us)});
+  table.AddRow({"null syscall", TextTable::Us(rs.null_syscall_us),
+                TextTable::Us(rf.null_syscall_us),
+                reduction(rs.null_syscall_us, rf.null_syscall_us)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  Headline("Paper vs measured");
+  PaperVsMeasured("ctxsw reduction", 33.0,
+                  (rs.ctxsw_2p_us - rf.ctxsw_2p_us) / rs.ctxsw_2p_us * 100.0, "%");
+  PaperVsMeasured("pipe latency reduction", 15.0,
+                  (rs.pipe_latency_us - rf.pipe_latency_us) / rs.pipe_latency_us * 100.0,
+                  "%");
+
+  // "User code showed an improvement of 15% in general when measured by wall-clock time":
+  // the kernel-compile as the user-wall-clock proxy.
+  KernelCompileConfig cc;
+  cc.compilation_units = 12;
+  System slow2(MachineConfig::Ppc603(133), OptimizationConfig::Baseline());
+  System fast2(MachineConfig::Ppc603(133), OptimizationConfig::OnlyFastHandlers());
+  const KernelCompileResult ks = RunKernelCompile(slow2, cc);
+  const KernelCompileResult kf = RunKernelCompile(fast2, cc);
+  PaperVsMeasured("user wall-clock improvement", 15.0,
+                  (ks.seconds - kf.seconds) / ks.seconds * 100.0, "%");
+
+  // §10.2 extension (future work in the paper): dcbt preloads in the context-switch path.
+  Headline("Section 10.2 extension: cache preloads in the switch path (604/133)");
+  OptimizationConfig hinted = OptimizationConfig::AllOptimizations();
+  hinted.cache_preload_hints = true;
+  System plain_sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  System hinted_sys(MachineConfig::Ppc604(133), hinted);
+  LmBenchParams p8;
+  p8.ctxsw_working_set_kb = 32;  // big per-switch working sets keep the task structs cold
+  LmBench plain_suite(plain_sys, p8);
+  LmBench hinted_suite(hinted_sys, p8);
+  const double plain_8p = plain_suite.ContextSwitchUs(8);
+  const double hinted_8p = hinted_suite.ContextSwitchUs(8);
+  std::printf("  8-process ctxsw: %.1f us plain, %.1f us with preload hints (%.1f%%)\n",
+              plain_8p, hinted_8p, (plain_8p - hinted_8p) / plain_8p * 100.0);
+  std::printf("  Claim (preloads help the switch path): %s\n",
+              hinted_8p <= plain_8p ? "HOLDS" : "FAILS");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppcmm
+
+int main() { return ppcmm::Main(); }

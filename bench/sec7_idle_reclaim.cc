@@ -1,0 +1,129 @@
+// §7 — idle-task reclaim of zombie HTAB entries.
+//
+// Paper measurements to reproduce in shape, under a steady flush-heavy load with idle time:
+//   * evict/reload ratio: >90% without reclaim -> ~30% with it,
+//   * in-use (live) HTAB entries: 600–700 (5%) -> 1400–2200 (15%),
+//   * HTAB hit rate on a TLB miss: 85% -> up to 98%.
+//
+// The workload cycles processes through map/touch/unmap churn (every munmap above the
+// cutoff retires a context and strands zombies) with idle slices between rounds, as disk
+// waits provide in a real compile load.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/stats.h"
+#include "src/kernel/layout.h"
+#include "src/workloads/report.h"
+
+namespace ppcmm {
+namespace {
+
+struct ChurnResult {
+  double evict_ratio = 0;
+  double hit_rate = 0;
+  uint32_t live_entries = 0;
+  uint32_t valid_entries = 0;
+  uint64_t zombies_reclaimed = 0;
+  double micros = 0;
+};
+
+ChurnResult RunChurn(bool reclaim, uint32_t htab_ptegs) {
+  OptimizationConfig config =
+      reclaim ? OptimizationConfig::OnlyIdleReclaim() : OptimizationConfig::OnlyLazyFlush(20);
+  config.optimized_handlers = true;
+  MachineConfig machine = MachineConfig::Ppc604(185);
+  machine.htab_ptegs = htab_ptegs;
+  System system(machine, config);
+  Kernel& kernel = system.kernel();
+
+  const TaskId worker = kernel.CreateTask("worker");
+  kernel.Exec(worker, ExecImage{.text_pages = 8, .data_pages = 192, .stack_pages = 4});
+  kernel.SwitchTo(worker);
+
+  // Warm-up churn to reach steady state, then a measured phase.
+  auto churn_round = [&](uint32_t salt) {
+    const uint32_t start = kernel.Mmap(48);
+    for (uint32_t i = 0; i < 48; ++i) {
+      kernel.UserTouch(EffAddr::FromPage(start + i, (salt % 16) * 64), AccessKind::kStore);
+    }
+    // Between-map work: several passes over a working set wider than the DTLB. Passes after
+    // the first are pure TLB capacity misses, whose reloads hit the HTAB — *if* the entries
+    // survived; in a zombie-clogged table the arbitrary replacement keeps killing them.
+    for (uint32_t pass = 0; pass < 5; ++pass) {
+      for (uint32_t i = 0; i < 160; ++i) {
+        kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kLoad);
+      }
+    }
+    kernel.Munmap(start, 48);
+    kernel.RunIdle(Cycles(30'000));  // the disk-wait window the idle task gets
+  };
+  for (uint32_t round = 0; round < 40; ++round) {
+    churn_round(round);
+  }
+  const HwCounters before = system.counters();
+  const Cycles t0 = system.machine().Now();
+  for (uint32_t round = 0; round < 80; ++round) {
+    churn_round(40 + round);
+  }
+  const HwCounters delta = system.counters().Diff(before);
+
+  ChurnResult result;
+  result.evict_ratio = delta.EvictToReloadRatio();
+  result.hit_rate = delta.HtabHitRate();
+  result.live_entries = system.mmu().htab().LiveCount(kernel.vsids());
+  result.valid_entries = system.mmu().htab().ValidCount();
+  result.zombies_reclaimed = delta.zombies_reclaimed;
+  result.micros =
+      CyclesToMicros(system.machine().Now() - t0, system.machine_config().clock_mhz);
+  kernel.Exit(worker);
+  return result;
+}
+
+int Main() {
+  Headline("Section 7: idle-task zombie reclaim (steady flush churn, 604/185)");
+  std::printf("The paper's full-size HTAB (2048 PTEGs) and a scaled-down one (128 PTEGs),\n"
+              "where zombie pressure corresponds to the paper's workload scale.\n\n");
+
+  TextTable table({"htab", "reclaim", "evict/reload", "htab hit rate", "live PTEs",
+                   "valid PTEs", "reclaimed"});
+  ChurnResult small_off;
+  ChurnResult small_on;
+  for (const uint32_t ptegs : {128u, 2048u}) {
+    const ChurnResult off = RunChurn(false, ptegs);
+    const ChurnResult on = RunChurn(true, ptegs);
+    if (ptegs == 128) {
+      small_off = off;
+      small_on = on;
+    }
+    table.AddRow({std::to_string(ptegs) + " PTEGs", "off", TextTable::Pct(off.evict_ratio),
+                  TextTable::Pct(off.hit_rate), TextTable::Count(off.live_entries),
+                  TextTable::Count(off.valid_entries), TextTable::Count(off.zombies_reclaimed)});
+    table.AddRow({std::to_string(ptegs) + " PTEGs", "on", TextTable::Pct(on.evict_ratio),
+                  TextTable::Pct(on.hit_rate), TextTable::Count(on.live_entries),
+                  TextTable::Count(on.valid_entries), TextTable::Count(on.zombies_reclaimed)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  Headline("Paper vs measured (scaled HTAB)");
+  PaperVsMeasured("evict/reload without reclaim", 90.0, small_off.evict_ratio * 100.0, "%");
+  PaperVsMeasured("evict/reload with reclaim", 30.0, small_on.evict_ratio * 100.0, "%");
+  PaperVsMeasured("live-entry growth with reclaim", 1400.0 / 650.0,
+                  small_off.live_entries == 0
+                      ? 0.0
+                      : static_cast<double>(small_on.live_entries) / small_off.live_entries,
+                  "x");
+  std::printf("\nClaims:\n");
+  std::printf("  reclaim lowers the evict/reload ratio: %s (%.0f%% -> %.0f%%)\n",
+              small_on.evict_ratio < small_off.evict_ratio ? "HOLDS" : "FAILS",
+              small_off.evict_ratio * 100.0, small_on.evict_ratio * 100.0);
+  std::printf("  reclaim raises the HTAB hit rate:      %s (%.1f%% -> %.1f%%)\n",
+              small_on.hit_rate > small_off.hit_rate ? "HOLDS" : "FAILS",
+              small_off.hit_rate * 100.0, small_on.hit_rate * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppcmm
+
+int main() { return ppcmm::Main(); }

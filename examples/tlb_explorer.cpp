@@ -1,0 +1,94 @@
+// TLB explorer: sweep a user working set across the DTLB reach and watch each reload
+// mechanism's cost curve — the experiment behind §5 and §6 of the paper.
+//
+//   $ ./tlb_explorer
+//
+// For working sets from well inside to well beyond the TLB, runs a steady strided read loop
+// on three machines (604 hardware walk, 603 software HTAB search, 603 direct PTE-tree
+// reload) and prints per-reference cost and miss rates. The crossover structure is the
+// paper's argument: once the set exceeds the TLB, the reload mechanism *is* the memory
+// system, and the cheapest software path wins.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/workloads/report.h"
+
+namespace {
+
+struct Probe {
+  double ns_per_ref = 0;
+  double dtlb_miss_rate = 0;
+  double htab_hit_rate = 0;
+};
+
+Probe RunProbe(ppcmm::System& system, uint32_t pages) {
+  using namespace ppcmm;
+  Kernel& kernel = system.kernel();
+  const TaskId t = kernel.CreateTask("explorer");
+  kernel.Exec(t, ExecImage{.text_pages = 4, .data_pages = pages + 8, .stack_pages = 2});
+  kernel.SwitchTo(t);
+
+  // Fault everything in, then measure steady-state strided reads (one line per page).
+  for (uint32_t p = 0; p < pages; ++p) {
+    kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize), AccessKind::kStore);
+  }
+  constexpr uint32_t kPasses = 20;
+  const HwCounters before = system.counters();
+  const double micros = system.TimeMicros([&] {
+    for (uint32_t pass = 0; pass < kPasses; ++pass) {
+      for (uint32_t p = 0; p < pages; ++p) {
+        kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize + (pass % 4) * 64),
+                         AccessKind::kLoad);
+      }
+    }
+  });
+  const HwCounters delta = system.counters().Diff(before);
+
+  Probe probe;
+  probe.ns_per_ref = micros * 1000.0 / (kPasses * pages);
+  probe.dtlb_miss_rate = delta.DtlbMissRate();
+  probe.htab_hit_rate = delta.HtabHitRate();
+  kernel.Exit(t);
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppcmm;
+
+  std::printf("Reload-mechanism cost curves: steady strided reads over N pages\n");
+  std::printf("(604 DTLB reach: 128 pages; 603 DTLB reach: 64 pages)\n\n");
+
+  const std::vector<uint32_t> sweep = {16, 32, 48, 64, 96, 128, 192, 256, 384};
+  TextTable table({"pages", "604 hw-walk ns/ref", "603 htab ns/ref", "603 direct ns/ref",
+                   "604 dTLB miss", "603 dTLB miss"});
+
+  for (const uint32_t pages : sweep) {
+    OptimizationConfig opt_604 = OptimizationConfig::AllOptimizations();
+    System hw(MachineConfig::Ppc604(185), opt_604);
+
+    OptimizationConfig opt_htab = OptimizationConfig::AllOptimizations();
+    opt_htab.no_htab_direct_reload = false;
+    System sw_htab(MachineConfig::Ppc603(180), opt_htab);
+
+    System sw_direct(MachineConfig::Ppc603(180), OptimizationConfig::AllOptimizations());
+
+    const Probe p_hw = RunProbe(hw, pages);
+    const Probe p_htab = RunProbe(sw_htab, pages);
+    const Probe p_direct = RunProbe(sw_direct, pages);
+
+    table.AddRow({std::to_string(pages), TextTable::Num(p_hw.ns_per_ref, 1),
+                  TextTable::Num(p_htab.ns_per_ref, 1), TextTable::Num(p_direct.ns_per_ref, 1),
+                  TextTable::Pct(p_hw.dtlb_miss_rate), TextTable::Pct(p_htab.dtlb_miss_rate)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Reading the curve: below the TLB reach every mechanism costs the same (hits);\n"
+              "past it, cost tracks the reload path — the paper's motivation for both the\n"
+              "BAT footprint work (keep the kernel out of those misses) and the fast-reload\n"
+              "work (make each miss cheap).\n");
+  return 0;
+}

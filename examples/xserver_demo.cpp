@@ -1,0 +1,46 @@
+// X-server demo: the §5.1 framebuffer experiment as a runnable program.
+//
+//   $ ./xserver_demo
+//
+// Runs the X-style workload (a display server sweeping the 2 MB framebuffer on behalf of
+// client processes) twice — framebuffer mapped by PTEs, then by a dedicated user BAT — and
+// shows what the BAT buys: the drawing loops stop competing with everyone else for TLB
+// entries.
+
+#include <cstdio>
+
+#include "src/core/stats.h"
+#include "src/core/system.h"
+#include "src/workloads/report.h"
+#include "src/workloads/xserver.h"
+
+int main() {
+  using namespace ppcmm;
+
+  std::printf("X-style framebuffer workload on a 133 MHz 604 (3 clients, full redraws)\n\n");
+
+  TextTable table({"FB mapping", "wall clock", "dTLB misses", "faults", "BAT xlations"});
+  double pte_seconds = 0;
+  double bat_seconds = 0;
+  for (const bool use_bat : {false, true}) {
+    OptimizationConfig config = OptimizationConfig::AllOptimizations();
+    config.framebuffer_bat = use_bat;
+    System system(MachineConfig::Ppc604(133), config);
+    XServerConfig xc;
+    xc.pages_per_draw = 64;
+    const XServerResult result = RunXServerWorkload(system, xc);
+    (use_bat ? bat_seconds : pte_seconds) = result.seconds;
+    table.AddRow({use_bat ? "dedicated BAT" : "PTEs + TLB",
+                  TextTable::Us(result.seconds * 1e6),
+                  TextTable::Count(result.counters.dtlb_misses),
+                  TextTable::Count(result.counters.page_faults),
+                  TextTable::Count(result.counters.bat_translations)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("dedicating a BAT to the framebuffer: %.1f%% faster\n",
+              (pte_seconds - bat_seconds) / pte_seconds * 100.0);
+  std::printf("\n(the paper, §5.1: \"having the kernel dedicate a BAT mapping to the frame\n"
+              "buffer itself so programs such as X do not compete constantly with other\n"
+              "applications or the kernel for TLB space\")\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "src/core/stats.h"
+
+#include <sstream>
+
+namespace ppcmm {
+
+SystemStats ComputeStats(System& system, const HwCounters& interval) {
+  SystemStats stats;
+  HashTable& htab = system.mmu().htab();
+  stats.htab_capacity = htab.capacity();
+  stats.htab_valid = htab.ValidCount();
+  stats.htab_live = htab.LiveCount(system.kernel().vsids());
+  stats.htab_utilization =
+      static_cast<double>(stats.htab_valid) / static_cast<double>(stats.htab_capacity);
+  stats.pteg_occupancy_histogram = htab.OccupancyHistogram();
+
+  stats.htab_hit_rate = interval.HtabHitRate();
+  stats.evict_to_reload_ratio = interval.EvictToReloadRatio();
+  stats.dtlb_miss_rate = interval.DtlbMissRate();
+  stats.itlb_miss_rate =
+      interval.itlb_accesses == 0
+          ? 0.0
+          : static_cast<double>(interval.itlb_misses) / static_cast<double>(interval.itlb_accesses);
+
+  Tlb& itlb = system.mmu().itlb();
+  Tlb& dtlb = system.mmu().dtlb();
+  stats.tlb_valid_entries = itlb.ValidCount() + dtlb.ValidCount();
+  stats.tlb_kernel_entries = itlb.KernelEntryCount() + dtlb.KernelEntryCount();
+  stats.tlb_kernel_share =
+      stats.tlb_valid_entries == 0
+          ? 0.0
+          : static_cast<double>(stats.tlb_kernel_entries) /
+                static_cast<double>(stats.tlb_valid_entries);
+  stats.kernel_tlb_highwater = system.counters().kernel_tlb_highwater;
+  return stats;
+}
+
+std::string SystemStats::ToString() const {
+  std::ostringstream oss;
+  oss << "htab: " << htab_valid << "/" << htab_capacity << " valid ("
+      << static_cast<int>(htab_utilization * 100) << "%), " << htab_live << " live\n"
+      << "htab hit rate: " << htab_hit_rate << ", evict/reload: " << evict_to_reload_ratio
+      << "\n"
+      << "tlb miss rates: i=" << itlb_miss_rate << " d=" << dtlb_miss_rate << "\n"
+      << "tlb: " << tlb_valid_entries << " valid, " << tlb_kernel_entries << " kernel ("
+      << static_cast<int>(tlb_kernel_share * 100) << "%), highwater " << kernel_tlb_highwater
+      << "\n";
+  return oss.str();
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,45 @@
+// Derived statistics over a running System — the numbers the paper reports in prose:
+// hash-table utilization, the evict/reload ratio, HTAB hit rates, kernel TLB share.
+
+#ifndef PPCMM_SRC_CORE_STATS_H_
+#define PPCMM_SRC_CORE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/mmu/hashed_pte.h"
+
+namespace ppcmm {
+
+// A point-in-time snapshot of the derived metrics.
+struct SystemStats {
+  // HTAB occupancy.
+  uint32_t htab_capacity = 0;
+  uint32_t htab_valid = 0;       // entries with V set (live + zombie)
+  uint32_t htab_live = 0;        // entries whose VSID belongs to a live context
+  double htab_utilization = 0.0; // valid / capacity — the §5.2 / §7 percentage
+  std::array<uint32_t, kPtesPerPteg + 1> pteg_occupancy_histogram{};
+
+  // Interval rates (caller supplies interval counters, e.g. System::CountersFor).
+  double htab_hit_rate = 0.0;        // §7's 85%–98%
+  double evict_to_reload_ratio = 0.0;  // §7's >90% → 30%
+  double dtlb_miss_rate = 0.0;
+  double itlb_miss_rate = 0.0;
+
+  // TLB occupancy.
+  uint32_t tlb_valid_entries = 0;
+  uint32_t tlb_kernel_entries = 0;
+  double tlb_kernel_share = 0.0;  // §5.1's 33%
+  uint64_t kernel_tlb_highwater = 0;
+
+  std::string ToString() const;
+};
+
+// Computes the snapshot from the system's current state plus an interval's counters.
+SystemStats ComputeStats(System& system, const HwCounters& interval);
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_CORE_STATS_H_

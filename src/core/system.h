@@ -1,0 +1,67 @@
+// The public facade: one simulated PowerPC machine running the mini-kernel with a chosen
+// optimization configuration.
+//
+// Typical use:
+//
+//   ppcmm::System sys(ppcmm::MachineConfig::Ppc604(185),
+//                     ppcmm::OptimizationConfig::AllOptimizations());
+//   ppcmm::TaskId t = sys.kernel().CreateTask("worker");
+//   sys.kernel().Exec(t, ppcmm::ExecImage{});
+//   sys.kernel().SwitchTo(t);
+//   sys.kernel().UserTouch(ppcmm::EffAddr(ppcmm::kUserDataBase), ppcmm::AccessKind::kStore);
+//   double us = sys.ElapsedMicros();
+
+#ifndef PPCMM_SRC_CORE_SYSTEM_H_
+#define PPCMM_SRC_CORE_SYSTEM_H_
+
+#include <functional>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/opt_config.h"
+#include "src/sim/machine.h"
+#include "src/sim/machine_config.h"
+
+namespace ppcmm {
+
+// A complete simulated system.
+class System {
+ public:
+  System(const MachineConfig& machine_config, const OptimizationConfig& opt_config,
+         const KernelCostModel& costs = KernelCostModel{})
+      : machine_(machine_config), kernel_(machine_, opt_config, costs) {}
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  Machine& machine() { return machine_; }
+  Kernel& kernel() { return kernel_; }
+  Mmu& mmu() { return kernel_.mmu(); }
+  const HwCounters& counters() const { return machine_.counters(); }
+  const MachineConfig& machine_config() const { return machine_.config(); }
+  const OptimizationConfig& opt_config() const { return kernel_.config(); }
+
+  double ElapsedMicros() const { return machine_.ElapsedMicros(); }
+  double ElapsedSeconds() const { return machine_.ElapsedSeconds(); }
+
+  // Runs `body` and returns the simulated microseconds it consumed.
+  double TimeMicros(const std::function<void()>& body) {
+    const Cycles before = machine_.Now();
+    body();
+    return CyclesToMicros(machine_.Now() - before, machine_.config().clock_mhz);
+  }
+
+  // Runs `body` and returns the counter deltas it produced.
+  HwCounters CountersFor(const std::function<void()>& body) {
+    const HwCounters before = machine_.counters();
+    body();
+    return machine_.counters().Diff(before);
+  }
+
+ private:
+  Machine machine_;
+  Kernel kernel_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_CORE_SYSTEM_H_

@@ -1,0 +1,83 @@
+#include "src/kernel/flush.h"
+
+namespace ppcmm {
+
+void FlushEngine::FlushPage(Mm& mm, EffAddr ea) { EagerFlushPage(mm, ea); }
+
+void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
+                             bool mm_is_current) {
+  if (config_.lazy_context_flush && config_.range_flush_cutoff > 0 &&
+      page_count > config_.range_flush_cutoff) {
+    // §7: "invalidating the whole memory management context of any process needing to
+    // invalidate more than a small set of pages" — the 80× mmap() win.
+    LazyFlushContext(mm, mm_is_current);
+    return;
+  }
+  // Eager path: "the kernel was clearing the range of addresses by searching the hash table
+  // for each PTE in turn" (§7) — every page in the range pays the two-PTEG search, whether
+  // or not a translation is actually cached.
+  for (uint32_t i = 0; i < page_count; ++i) {
+    EagerFlushPage(mm, EffAddr::FromPage(start_page + i));
+  }
+}
+
+void FlushEngine::FlushContext(Mm& mm, bool mm_is_current) {
+  if (config_.lazy_context_flush) {
+    LazyFlushContext(mm, mm_is_current);
+    return;
+  }
+  // Eager: flush every present page individually — the cost the lazy scheme eliminates.
+  mm.page_table->ForEachPresent([&](EffAddr ea, const LinuxPte&) { EagerFlushPage(mm, ea); });
+}
+
+void FlushEngine::EagerFlushPage(Mm& mm, EffAddr ea) {
+  HwCounters& counters = mmu_.machine().counters();
+  mmu_.machine().Trace(TraceEvent::kFlushPage, ea.EffPageNumber());
+  // The flush loop body around each page (address arithmetic, bounds checks).
+  mmu_.machine().AddCycles(Cycles(8));
+  if (mmu_.policy().UsesHtab()) {
+    const VirtPage vp{.vsid = vsids_.UserVsid(mm.context, ea.SegmentIndex()),
+                      .page_index = ea.PageIndex()};
+    DataMemCharger charger = mmu_.PageTableCharger();
+    // Count the references the search makes for the §7 statistics while charging them.
+    class CountingCharger : public MemCharger {
+     public:
+      CountingCharger(MemCharger& inner, uint64_t& count) : inner_(inner), count_(count) {}
+      void Charge(PhysAddr pa, bool is_write) override {
+        ++count_;
+        inner_.Charge(pa, is_write);
+      }
+
+     private:
+      MemCharger& inner_;
+      uint64_t& count_;
+    } counting(charger, counters.htab_flush_memory_refs);
+    const std::optional<HashedPte> invalidated = mmu_.htab().InvalidatePage(vp, counting);
+    // Deferred dirty scheme: the C bit accumulated in the HTAB must survive in the Linux
+    // PTE (with eager marking the PTE was already dirtied at fault/reload time).
+    if (invalidated.has_value() && invalidated->changed) {
+      const std::optional<LinuxPte> pte = mm.page_table->LookupQuiet(ea);
+      if (pte.has_value() && pte->present && !pte->dirty) {
+        mm.page_table->Update(ea, [](LinuxPte& p) { p.dirty = true; }, &charger);
+      }
+    }
+  }
+  mmu_.TlbInvalidatePage(ea);
+}
+
+void FlushEngine::LazyFlushContext(Mm& mm, bool mm_is_current) {
+  HwCounters& counters = mmu_.machine().counters();
+  const ContextId retired = mm.context;
+  vsids_.Retire(mm.context);
+  mm.context = vsids_.NewContext();
+  mmu_.machine().Trace(TraceEvent::kFlushContext, retired.value, mm.context.value);
+  ++counters.tlb_context_flushes;
+  // A handful of cycles: bump the counter, store the new VSIDs into the task structure and,
+  // if this is the running task, reload the segment registers.
+  mmu_.machine().AddCycles(Cycles(12 + (mm_is_current ? kNumSegments * 2 : 0)));
+  if (mm_is_current) {
+    mmu_.segments().LoadAll(vsids_.SegmentImage(mm.context));
+  }
+}
+
+}  // namespace ppcmm

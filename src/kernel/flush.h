@@ -1,0 +1,51 @@
+// TLB and hash-table flushing strategies (§7 of the paper).
+//
+// The baseline kernel flushes eagerly: for every page it searches both hash buckets (up to
+// 16 memory references) to clear the PTE, then issues a tlbie. Ranges of 40–110 pages were
+// common, making mmap() latency milliseconds.
+//
+// The optimized kernel flushes lazily: retiring the context's VSIDs makes every cached
+// translation unreachable in O(1), leaving "zombie" PTEs behind for the idle task to sweep.
+// The tunable range cutoff (20 pages) picks between the two per call.
+
+#ifndef PPCMM_SRC_KERNEL_FLUSH_H_
+#define PPCMM_SRC_KERNEL_FLUSH_H_
+
+#include "src/kernel/mm.h"
+#include "src/kernel/opt_config.h"
+#include "src/kernel/vsid_space.h"
+#include "src/mmu/mmu.h"
+
+namespace ppcmm {
+
+// Executes flushes against the MMU on behalf of the kernel.
+class FlushEngine {
+ public:
+  FlushEngine(Mmu& mmu, VsidSpace& vsids, const OptimizationConfig& config)
+      : mmu_(mmu), vsids_(vsids), config_(config) {}
+
+  // Flushes one user page of `mm`. Always eager (a single page never hits the cutoff).
+  void FlushPage(Mm& mm, EffAddr ea);
+
+  // Flushes [start_page, start_page + page_count) of `mm`. With lazy flushing and a cutoff,
+  // large ranges are converted into a whole-context flush. `mm_is_current` tells the engine
+  // whether the segment registers must be reloaded after a context reassignment.
+  void FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count, bool mm_is_current);
+
+  // Flushes every translation of `mm` (exec, exit).
+  void FlushContext(Mm& mm, bool mm_is_current);
+
+ private:
+  // The eager per-page path: HTAB search-and-invalidate plus tlbie.
+  void EagerFlushPage(Mm& mm, EffAddr ea);
+  // The lazy path: retire the VSIDs, draw a fresh context.
+  void LazyFlushContext(Mm& mm, bool mm_is_current);
+
+  Mmu& mmu_;
+  VsidSpace& vsids_;
+  const OptimizationConfig& config_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_FLUSH_H_

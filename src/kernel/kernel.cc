@@ -1,0 +1,1008 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+// Per-operation kernel code/data footprint: which pages of kernel text the operation's code
+// lives in and how many distinct kernel data references it makes. When BATs are off every
+// distinct page here costs a TLB entry — the source of the paper's "33% of TLB entries were
+// kernel" measurement.
+struct Footprint {
+  uint32_t text_page = 0;   // first page of the handler's code within kernel text
+  uint32_t text_pages = 1;  // pages of code executed
+  uint32_t data_offset = 0;  // offset into kernel static data
+  uint32_t data_refs = 1;    // distinct data references
+};
+
+constexpr uint32_t kIdleTextPage = 5;
+
+}  // namespace
+
+namespace {
+
+MmuPolicy MakeMmuPolicy(const MachineConfig& machine_config, const OptimizationConfig& config) {
+  MmuPolicy policy;
+  if (machine_config.reload == TlbReloadMechanism::kSoftware) {
+    policy.strategy = config.no_htab_direct_reload ? ReloadStrategy::kSoftwareDirect
+                                                   : ReloadStrategy::kSoftwareHtab;
+  } else {
+    // The 604 cannot bypass the hardware-walked HTAB (§6.2).
+    policy.strategy = ReloadStrategy::kHardwareHtabWalk;
+  }
+  policy.optimized_handlers = config.optimized_handlers;
+  policy.cache_page_tables = !config.uncached_page_tables;
+  // Zombie PTEs can never write their C bits back, so lazy flushing requires dirty bits to
+  // be correct at load time.
+  policy.eager_dirty_marking = config.eager_dirty_marking || config.lazy_context_flush;
+  return policy;
+}
+
+}  // namespace
+
+Kernel::Kernel(Machine& machine, const OptimizationConfig& config, const KernelCostModel& costs)
+    : machine_(machine),
+      config_(config),
+      costs_(costs),
+      vsids_(config.vsid_scatter),
+      allocator_(kFirstPoolFrame,
+                 static_cast<uint32_t>(machine.memory().num_frames()) - kFirstPoolFrame -
+                     kFramebufferBytes / kPageSize),
+      mem_(machine, allocator_, config_),
+      mmu_(std::make_unique<Mmu>(machine, MakeMmuPolicy(machine.config(), config),
+                                 PhysAddr(kHtabPhysBase))),
+      kernel_page_table_(nullptr),
+      flusher_(*mmu_, vsids_, config_),
+      page_cache_(machine, mem_) {
+  framebuffer_first_frame_ =
+      static_cast<uint32_t>(machine.memory().num_frames()) - kFramebufferBytes / kPageSize;
+  mmu_->SetBacking(this);
+  mmu_->SetVsidOracle(&vsids_);
+  mem_.SetReclaimHook([this](uint32_t target) { return page_cache_.ReclaimPages(target); });
+  kernel_page_table_ = std::make_unique<PageTable>(allocator_, machine_.memory());
+  SetupKernelTranslation();
+}
+
+Kernel::~Kernel() {
+  for (auto& [id, pipe] : pipes_) {
+    allocator_.DecRef(pipe.buffer_frame);
+  }
+  for (auto& [id, segment] : shm_segments_) {
+    for (const uint32_t frame : segment.frames) {
+      allocator_.DecRef(frame);
+    }
+  }
+}
+
+void Kernel::SetupKernelTranslation() {
+  // Linear map: kernel VA 0xC0000000 + x -> phys x, for all of RAM. This PTE-tree mapping is
+  // the translation source when BATs are off; with BATs on it is still present but idle.
+  const uint32_t frames = static_cast<uint32_t>(machine_.memory().num_frames());
+  for (uint32_t frame = 0; frame < frames; ++frame) {
+    const LinuxPte pte{.present = true,
+                       .writable = true,
+                       .user = false,
+                       .accessed = false,
+                       .dirty = false,
+                       .cache_inhibited = false,
+                       .cow = false,
+                       .frame = frame};
+    kernel_page_table_->Map(KernelVirtFromPhys(PhysAddr::FromFrame(frame)), pte, nullptr);
+  }
+
+  if (config_.kernel_bat_mapping) {
+    // §5.1: one BAT pair covers the kernel's contiguous physical image — and with it the
+    // HTAB and page tables, "given to us for free".
+    uint32_t block = kMinBatBlock;
+    while (block < machine_.memory().size_bytes()) {
+      block <<= 1;
+    }
+    const BatEntry bat{.valid = true,
+                       .eff_base = kKernelVirtualBase,
+                       .block_bytes = block,
+                       .phys_base = 0,
+                       .cache_inhibited = false,
+                       .supervisor_only = true};
+    mmu_->ibats().Set(0, bat);
+    mmu_->dbats().Set(0, bat);
+  }
+
+  // Kernel segments always hold the fixed kernel VSIDs; user segments start vacant.
+  std::array<Vsid, kNumSegments> image{};
+  for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
+    image[seg] = VsidSpace::KernelVsid(seg);
+  }
+  mmu_->segments().LoadAll(image);
+}
+
+// ---- process management ----
+
+TaskId Kernel::CreateTask(std::string name) {
+  const TaskId id{next_task_++};
+  auto task = std::make_unique<Task>();
+  task->id = id;
+  task->name = std::move(name);
+  task->mm = std::make_unique<Mm>(vsids_, allocator_, machine_.memory());
+  task->task_struct_pa = PhysAddr(kKernelMiscPhysBase + (id.value % 256) * 1024);
+  task->text_page = kUserTextBase >> kPageShift;
+  task->stack_page = (kUserStackTop >> kPageShift) - 1;
+  tasks_.emplace(id.value, std::move(task));
+  scheduler_.MakeRunnable(id);
+  return id;
+}
+
+Task& Kernel::task(TaskId id) {
+  auto it = tasks_.find(id.value);
+  PPCMM_CHECK_MSG(it != tasks_.end(), "no such task " << id.value);
+  return *it->second;
+}
+
+Task& Kernel::CurrentTask() {
+  PPCMM_CHECK_MSG(current_.value != 0, "no current task");
+  return task(current_);
+}
+
+void Kernel::SwitchTo(TaskId id) {
+  Task& next = task(id);
+  PPCMM_CHECK_MSG(next.state != TaskState::kZombie, "switching to a zombie task");
+  HwCounters& counters = machine_.counters();
+  ++counters.context_switches;
+  machine_.Trace(TraceEvent::kContextSwitch, current_.value, id.value);
+
+  ChargeKernelWork(KernelOp::kContextSwitch);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.ctxsw_body_opt
+                                                       : costs_.ctxsw_body_unopt));
+
+  // §10.2 extension: prefetch the incoming task's state so the restore loads below hit.
+  if (config_.cache_preload_hints) {
+    for (uint32_t line = 0; line < 8; ++line) {
+      machine_.PrefetchData(next.task_struct_pa + line * 64);
+    }
+  }
+
+  // Save the outgoing register state, restore the incoming — real stores/loads against the
+  // task structures. The unoptimized path saves everything; the optimized path is lean.
+  const uint32_t regs = config_.optimized_handlers ? 12 : 32;
+  if (current_.value != 0 && tasks_.contains(current_.value)) {
+    Task& prev = task(current_);
+    for (uint32_t r = 0; r < regs; ++r) {
+      KernelTouch(KernelVirtFromPhys(prev.task_struct_pa + (r % 8) * 64), AccessKind::kStore);
+    }
+    if (prev.state == TaskState::kRunning) {
+      prev.state = TaskState::kRunnable;
+      scheduler_.MakeRunnable(prev.id);
+    }
+  }
+  for (uint32_t r = 0; r < regs; ++r) {
+    KernelTouch(KernelVirtFromPhys(next.task_struct_pa + (r % 8) * 64), AccessKind::kLoad);
+  }
+
+  // Reload the user segment registers from the incoming task's VSIDs.
+  machine_.AddCycles(Cycles(kFirstKernelSegment * 2));
+  mmu_->segments().LoadUserSegments(vsids_.SegmentImage(next.mm->context));
+
+  scheduler_.Remove(id);  // the running task is not queued
+  next.state = TaskState::kRunning;
+  const TaskId previous = current_;
+  current_ = id;
+  if (switch_hook_) {
+    // Must be the last action: a cooperative harness may park this call stack here.
+    switch_hook_(previous, id);
+  }
+}
+
+TaskId Kernel::Fork(TaskId parent_id) {
+  Task& parent = task(parent_id);
+  ChargeKernelWork(KernelOp::kFork);
+  machine_.AddCycles(Cycles(costs_.fork_body));
+
+  const TaskId child_id = CreateTask(parent.name + "+");
+  Task& child = task(child_id);
+  child.mm->vmas = parent.mm->vmas;
+  child.text_page = parent.text_page;
+  child.stack_page = parent.stack_page;
+
+  // Collect the parent's present pages, then share each frame copy-on-write.
+  std::vector<std::pair<EffAddr, LinuxPte>> pages;
+  parent.mm->page_table->ForEachPresent(
+      [&](EffAddr ea, const LinuxPte& pte) { pages.emplace_back(ea, pte); });
+
+  DataMemCharger charger = mmu_->PageTableCharger();
+  uint32_t write_protected = 0;
+  for (const auto& [ea, pte] : pages) {
+    LinuxPte child_pte = pte;
+    if (IsIoFrame(pte.frame)) {
+      // Device apertures are shared outright: no refcount, no copy-on-write.
+      child.mm->page_table->Map(ea, child_pte, &charger);
+      machine_.AddCycles(Cycles(12));
+      continue;
+    }
+    const std::optional<Vma> vma = child.mm->vmas.Find(ea.EffPageNumber());
+    if (vma.has_value() && vma->backing == VmaBacking::kShm) {
+      // MAP_SHARED semantics: the child writes the same frames, no write-protection.
+      allocator_.AddRef(pte.frame);
+      child.mm->page_table->Map(ea, child_pte, &charger);
+      machine_.AddCycles(Cycles(12));
+      continue;
+    }
+    if (pte.writable) {
+      parent.mm->page_table->Update(
+          ea,
+          [](LinuxPte& p) {
+            p.writable = false;
+            p.cow = true;
+          },
+          &charger);
+      child_pte.writable = false;
+      child_pte.cow = true;
+      ++write_protected;
+    }
+    allocator_.AddRef(pte.frame);
+    child.mm->page_table->Map(ea, child_pte, &charger);
+    machine_.AddCycles(Cycles(12));  // the per-page loop body
+  }
+
+  // The parent's cached translations for the write-protected pages are now stale.
+  if (write_protected > 0) {
+    if (config_.lazy_context_flush && config_.range_flush_cutoff > 0 &&
+        write_protected > config_.range_flush_cutoff) {
+      flusher_.FlushContext(*parent.mm, current_ == parent_id);
+    } else {
+      for (const auto& [ea, pte] : pages) {
+        if (pte.writable) {
+          flusher_.FlushPage(*parent.mm, ea);
+        }
+      }
+    }
+  }
+  return child_id;
+}
+
+void Kernel::Exec(TaskId id, const ExecImage& image) {
+  Task& target = task(id);
+  ChargeKernelWork(KernelOp::kExec);
+  machine_.AddCycles(Cycles(costs_.exec_body));
+
+  Mm& mm = *target.mm;
+  // Drop every cached translation of the old image, then its pages and VMAs.
+  flusher_.FlushContext(mm, current_ == id);
+  std::vector<std::pair<EffAddr, LinuxPte>> pages;
+  mm.page_table->ForEachPresent(
+      [&](EffAddr ea, const LinuxPte& pte) { pages.emplace_back(ea, pte); });
+  for (const auto& [ea, pte] : pages) {
+    mm.page_table->Unmap(ea, nullptr);
+    ReleaseFrame(pte.frame);
+  }
+  mm.vmas.Clear();
+
+  // New image: text, heap, stack.
+  const uint32_t text_start = kUserTextBase >> kPageShift;
+  mm.vmas.Insert(Vma{.start_page = text_start,
+                     .end_page = text_start + image.text_pages,
+                     .writable = false,
+                     .backing = image.text_file.has_value() ? VmaBacking::kFile
+                                                            : VmaBacking::kAnonymous,
+                     .file_id = image.text_file.value_or(FileId{}).value,
+                     .file_page_offset = 0});
+  const uint32_t data_start = kUserDataBase >> kPageShift;
+  mm.vmas.Insert(Vma{.start_page = data_start,
+                     .end_page = data_start + image.data_pages,
+                     .writable = true,
+                     .backing = VmaBacking::kAnonymous});
+  const uint32_t stack_end = kUserStackTop >> kPageShift;
+  mm.vmas.Insert(Vma{.start_page = stack_end - image.stack_pages,
+                     .end_page = stack_end,
+                     .writable = true,
+                     .backing = VmaBacking::kAnonymous});
+
+  target.text_page = text_start;
+  target.stack_page = stack_end - 1;
+}
+
+void Kernel::Exit(TaskId id) {
+  Task& target = task(id);
+  Mm& mm = *target.mm;
+
+  machine_.AddCycles(Cycles(300));
+  // Eager kernels must scrub the HTAB/TLB entry by entry; lazy kernels just retire the
+  // context — its translations become zombies.
+  if (!config_.lazy_context_flush) {
+    flusher_.FlushContext(mm, current_ == id);
+  } else {
+    ++machine_.counters().tlb_context_flushes;
+    machine_.AddCycles(Cycles(12));
+  }
+  vsids_.Retire(mm.context);
+
+  std::vector<std::pair<EffAddr, LinuxPte>> pages;
+  mm.page_table->ForEachPresent(
+      [&](EffAddr ea, const LinuxPte& pte) { pages.emplace_back(ea, pte); });
+  for (const auto& [ea, pte] : pages) {
+    mm.page_table->Unmap(ea, nullptr);
+    ReleaseFrame(pte.frame);
+  }
+
+  if (current_ == id) {
+    current_ = TaskId{0};
+  }
+  scheduler_.Remove(id);
+  for (auto& [pipe_id, pipe] : pipes_) {
+    pipe.readers.Remove(id);
+    pipe.writers.Remove(id);
+  }
+  tasks_.erase(id.value);
+}
+
+// ---- syscalls ----
+
+void Kernel::NullSyscall() {
+  ++machine_.counters().syscalls;
+  machine_.Trace(TraceEvent::kSyscall, 0);
+  ChargeKernelWork(KernelOp::kSyscallEntry);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+}
+
+uint32_t Kernel::Mmap(uint32_t page_count, const MmapOptions& options) {
+  PPCMM_CHECK(page_count > 0);
+  Task& current = CurrentTask();
+  Mm& mm = *current.mm;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kMmapCall);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+
+  uint32_t start;
+  if (options.fixed_page.has_value()) {
+    start = *options.fixed_page;
+    if (!mm.vmas.RangeIsFree(start, page_count)) {
+      // MAP_FIXED over an existing mapping: unmap — and therefore flush — what's there.
+      // This is the operation whose latency §7 chases from 3240 µs down to 41 µs.
+      flusher_.FlushRange(mm, start, page_count, current_ == current.id);
+      ReleaseRange(mm, start, page_count);
+      mm.vmas.Remove(start, page_count);
+    }
+  } else {
+    start = mm.vmas.FindFreeRange(kUserMmapBase >> kPageShift, page_count);
+  }
+
+  mm.vmas.Insert(Vma{.start_page = start,
+                     .end_page = start + page_count,
+                     .writable = options.writable,
+                     .backing = options.file.has_value() ? VmaBacking::kFile
+                                                         : VmaBacking::kAnonymous,
+                     .file_id = options.file.value_or(FileId{}).value,
+                     .file_page_offset = options.file_page_offset});
+  return start;
+}
+
+void Kernel::Munmap(uint32_t start_page, uint32_t page_count) {
+  Task& current = CurrentTask();
+  Mm& mm = *current.mm;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kMmapCall);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+
+  flusher_.FlushRange(mm, start_page, page_count, current_ == current.id);
+  ReleaseRange(mm, start_page, page_count);
+  mm.vmas.Remove(start_page, page_count);
+}
+
+uint32_t Kernel::MapFramebuffer() {
+  Task& current = CurrentTask();
+  Mm& mm = *current.mm;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kMmapCall);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+
+  const uint32_t start = kUserFramebufferBase >> kPageShift;
+  const uint32_t pages = kFramebufferBytes / kPageSize;
+  mm.vmas.Insert(Vma{.start_page = start,
+                     .end_page = start + pages,
+                     .writable = true,
+                     .backing = VmaBacking::kIo,
+                     .io_first_frame = framebuffer_first_frame_});
+
+  if (config_.framebuffer_bat) {
+    // The §5.1 idea: a user-visible, cache-inhibited data BAT over the aperture. Accesses
+    // then bypass the TLB and HTAB entirely; the VMA above never faults.
+    const BatEntry bat{.valid = true,
+                       .eff_base = kUserFramebufferBase,
+                       .block_bytes = kFramebufferBytes,
+                       .phys_base = framebuffer_first_frame_ << kPageShift,
+                       .cache_inhibited = true,
+                       .supervisor_only = false};
+    mmu_->dbats().Set(1, bat);
+  }
+  return start;
+}
+
+void Kernel::ReleaseFrame(uint32_t frame) {
+  if (IsIoFrame(frame)) {
+    return;  // aperture frames are not allocator-owned
+  }
+  mem_.FreePage(frame);
+}
+
+void Kernel::ReleaseRange(Mm& mm, uint32_t start_page, uint32_t page_count) {
+  for (uint32_t i = 0; i < page_count; ++i) {
+    machine_.AddCycles(Cycles(2));  // the zap loop itself
+    const EffAddr ea = EffAddr::FromPage(start_page + i);
+    const std::optional<LinuxPte> pte = mm.page_table->LookupQuiet(ea);
+    if (pte.has_value() && pte->present) {
+      mm.page_table->Unmap(ea, nullptr);
+      ReleaseFrame(pte->frame);
+      machine_.AddCycles(Cycles(8));
+    }
+  }
+}
+
+void Kernel::FileRead(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_dst) {
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kFileIo);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+  uint32_t done = 0;
+  while (done < length) {
+    const uint32_t file_page = (offset_bytes + done) >> kPageShift;
+    const uint32_t in_page = (offset_bytes + done) & kPageOffsetMask;
+    const uint32_t chunk = std::min(length - done, kPageSize - in_page);
+    bool miss = false;
+    const uint32_t frame = page_cache_.GetPage(file, file_page, &miss);
+    if (miss) {
+      SimulateIoWait(Cycles(costs_.disk_latency_cycles));
+    }
+    CopyUserKernel(user_dst + done, PhysAddr::FromFrame(frame, in_page), chunk,
+                   /*to_user=*/true);
+    done += chunk;
+  }
+}
+
+void Kernel::FileWrite(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_src) {
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kFileIo);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+  uint32_t done = 0;
+  while (done < length) {
+    const uint32_t file_page = (offset_bytes + done) >> kPageShift;
+    const uint32_t in_page = (offset_bytes + done) & kPageOffsetMask;
+    const uint32_t chunk = std::min(length - done, kPageSize - in_page);
+    bool miss = false;
+    const uint32_t frame = page_cache_.GetPage(file, file_page, &miss);
+    if (miss) {
+      SimulateIoWait(Cycles(costs_.disk_latency_cycles));
+    }
+    CopyUserKernel(user_src + done, PhysAddr::FromFrame(frame, in_page), chunk,
+                   /*to_user=*/false);
+    done += chunk;
+  }
+}
+
+uint32_t Kernel::ShmCreate(uint32_t pages) {
+  PPCMM_CHECK(pages > 0);
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kMmapCall);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+  ShmSegment segment;
+  segment.frames.reserve(pages);
+  for (uint32_t i = 0; i < pages; ++i) {
+    segment.frames.push_back(mem_.GetFreePage());
+  }
+  const uint32_t id = next_shm_++;
+  shm_segments_.emplace(id, std::move(segment));
+  return id;
+}
+
+uint32_t Kernel::ShmAttach(uint32_t shm_id) {
+  auto it = shm_segments_.find(shm_id);
+  PPCMM_CHECK_MSG(it != shm_segments_.end(), "attach to unknown shm segment " << shm_id);
+  Task& current = CurrentTask();
+  Mm& mm = *current.mm;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kMmapCall);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+
+  const uint32_t pages = static_cast<uint32_t>(it->second.frames.size());
+  const uint32_t start = mm.vmas.FindFreeRange(kUserMmapBase >> kPageShift, pages);
+  mm.vmas.Insert(Vma{.start_page = start,
+                     .end_page = start + pages,
+                     .writable = true,
+                     .backing = VmaBacking::kShm,
+                     .file_id = shm_id});
+  ++it->second.attach_count;
+  return start;
+}
+
+void Kernel::ShmDetach(uint32_t start_page, uint32_t pages) {
+  Task& current = CurrentTask();
+  const std::optional<Vma> vma = current.mm->vmas.Find(start_page);
+  PPCMM_CHECK_MSG(vma.has_value() && vma->backing == VmaBacking::kShm,
+                  "ShmDetach on a non-shm range");
+  const uint32_t shm_id = vma->file_id;
+  Munmap(start_page, pages);
+  auto it = shm_segments_.find(shm_id);
+  if (it != shm_segments_.end() && it->second.attach_count > 0) {
+    --it->second.attach_count;
+  }
+}
+
+void Kernel::ShmDestroy(uint32_t shm_id) {
+  auto it = shm_segments_.find(shm_id);
+  PPCMM_CHECK_MSG(it != shm_segments_.end(), "destroy of unknown shm segment " << shm_id);
+  PPCMM_CHECK_MSG(it->second.attach_count == 0,
+                  "shm segment " << shm_id << " still has attachments");
+  for (const uint32_t frame : it->second.frames) {
+    mem_.FreePage(frame);
+  }
+  shm_segments_.erase(it);
+}
+
+uint32_t Kernel::CreatePipe() {
+  const uint32_t id = next_pipe_++;
+  pipes_[id] = PipeState{.buffer_frame = mem_.GetFreePage(), .used = 0, .read_pos = 0};
+  return id;
+}
+
+uint32_t Kernel::PipeWrite(uint32_t pipe_id, EffAddr user_src, uint32_t length) {
+  auto it = pipes_.find(pipe_id);
+  PPCMM_CHECK_MSG(it != pipes_.end(), "write to unknown pipe " << pipe_id);
+  PipeState& pipe = it->second;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kPipe);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.pipe_wakeup_opt
+                                                       : costs_.pipe_wakeup_unopt));
+
+  const uint32_t n = std::min(length, PipeState::kCapacity - pipe.used);
+  uint32_t done = 0;
+  while (done < n) {
+    const uint32_t write_pos = (pipe.read_pos + pipe.used + done) % PipeState::kCapacity;
+    const uint32_t chunk = std::min(n - done, PipeState::kCapacity - write_pos);
+    CopyUserKernel(user_src + done, PhysAddr::FromFrame(pipe.buffer_frame, write_pos), chunk,
+                   /*to_user=*/false);
+    done += chunk;
+  }
+  pipe.used += n;
+  return n;
+}
+
+uint32_t Kernel::PipeRead(uint32_t pipe_id, EffAddr user_dst, uint32_t length) {
+  auto it = pipes_.find(pipe_id);
+  PPCMM_CHECK_MSG(it != pipes_.end(), "read from unknown pipe " << pipe_id);
+  PipeState& pipe = it->second;
+  ++machine_.counters().syscalls;
+  ChargeKernelWork(KernelOp::kPipe);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
+                                                       : costs_.syscall_body_unopt));
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.pipe_wakeup_opt
+                                                       : costs_.pipe_wakeup_unopt));
+
+  const uint32_t n = std::min(length, pipe.used);
+  uint32_t done = 0;
+  while (done < n) {
+    const uint32_t chunk = std::min(n - done, PipeState::kCapacity - pipe.read_pos);
+    CopyUserKernel(user_dst + done, PhysAddr::FromFrame(pipe.buffer_frame, pipe.read_pos),
+                   chunk, /*to_user=*/true);
+    pipe.read_pos = (pipe.read_pos + chunk) % PipeState::kCapacity;
+    done += chunk;
+  }
+  pipe.used -= n;
+  return n;
+}
+
+// ---- cooperative scheduling ----
+
+void Kernel::Yield() {
+  const std::optional<TaskId> next = scheduler_.PickNext();
+  if (!next.has_value() || *next == current_) {
+    return;
+  }
+  SwitchTo(*next);
+}
+
+void Kernel::BlockCurrentOn(WaitQueue& queue) {
+  Task& current = CurrentTask();
+  current.state = TaskState::kBlocked;
+  scheduler_.Remove(current.id);
+  queue.Add(current.id);
+  const std::optional<TaskId> next = scheduler_.PickNext();
+  PPCMM_CHECK_MSG(next.has_value(),
+                  "deadlock: task " << current.id.value
+                                    << " blocked with nothing runnable to wake it");
+  SwitchTo(*next);
+}
+
+bool Kernel::WakeOne(WaitQueue& queue) {
+  const std::optional<TaskId> woken = queue.PopOne();
+  if (!woken.has_value()) {
+    return false;
+  }
+  // wake_up(): runqueue insertion plus a touch of the woken task's struct.
+  machine_.AddCycles(Cycles(40));
+  KernelTouch(KernelVirtFromPhys(task(*woken).task_struct_pa), AccessKind::kStore);
+  task(*woken).state = TaskState::kRunnable;
+  scheduler_.MakeRunnable(*woken);
+  return true;
+}
+
+void Kernel::WakeAll(WaitQueue& queue) {
+  while (WakeOne(queue)) {
+  }
+}
+
+void Kernel::PipeWriteBlocking(uint32_t pipe_id, EffAddr user_src, uint32_t length) {
+  uint32_t done = 0;
+  while (done < length) {
+    const uint32_t n = PipeWrite(pipe_id, user_src + done, length - done);
+    done += n;
+    PipeState& pipe = pipes_.at(pipe_id);
+    if (!pipe.readers.Empty()) {
+      WakeOne(pipe.readers);
+    }
+    if (done < length) {
+      BlockCurrentOn(pipe.writers);
+    }
+  }
+}
+
+void Kernel::PipeReadBlocking(uint32_t pipe_id, EffAddr user_dst, uint32_t length) {
+  uint32_t done = 0;
+  while (done < length) {
+    const uint32_t n = PipeRead(pipe_id, user_dst + done, length - done);
+    done += n;
+    PipeState& pipe = pipes_.at(pipe_id);
+    if (!pipe.writers.Empty()) {
+      WakeOne(pipe.writers);
+    }
+    if (done < length) {
+      BlockCurrentOn(pipe.readers);
+    }
+  }
+}
+
+// ---- user-mode execution ----
+
+void Kernel::UserTouch(EffAddr ea, AccessKind kind) {
+  Task& current = CurrentTask();
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    switch (mmu_->Access(ea, kind)) {
+      case AccessOutcome::kOk:
+        return;
+      case AccessOutcome::kPageFault:
+        HandlePageFault(current, ea, kind);
+        break;
+      case AccessOutcome::kProtectionFault: {
+        const std::optional<LinuxPte> pte = current.mm->page_table->LookupQuiet(ea);
+        PPCMM_CHECK_MSG(pte.has_value() && pte->present && pte->cow,
+                        "write to a genuinely read-only mapping at 0x" << std::hex << ea.value);
+        HandleCowFault(current, ea);
+        break;
+      }
+    }
+  }
+  PPCMM_CHECK_MSG(false, "fault loop did not converge at 0x" << std::hex << ea.value);
+}
+
+void Kernel::UserTouchRange(EffAddr start, uint32_t bytes, uint32_t stride, AccessKind kind) {
+  PPCMM_CHECK(stride > 0);
+  for (uint32_t offset = 0; offset < bytes; offset += stride) {
+    UserTouch(start + offset, kind);
+  }
+}
+
+void Kernel::UserExecute(uint32_t instructions) {
+  Task& current = CurrentTask();
+  const uint32_t line = machine_.config().icache.line_bytes;
+  const uint32_t lines_per_page = kPageSize / line;
+  // One instruction fetch per 8 instructions (32-byte lines hold 8 four-byte instructions),
+  // walking sequentially through the task's code page.
+  for (uint32_t i = 0; i < instructions; i += 8) {
+    const uint32_t line_index = static_cast<uint32_t>(idle_rr_cursor_++) % lines_per_page;
+    UserTouch(EffAddr::FromPage(current.text_page, line_index * line),
+              AccessKind::kInstructionFetch);
+  }
+  machine_.AddCycles(Cycles(instructions));
+}
+
+// ---- idle ----
+
+void Kernel::RunIdle(Cycles budget) {
+  HwCounters& counters = machine_.counters();
+  ++counters.idle_invocations;
+  machine_.Trace(TraceEvent::kIdleSlice, static_cast<uint32_t>(budget.value));
+  const Cycles deadline = machine_.Now() + budget;
+  DataMemCharger pt_charger = mmu_->PageTableCharger();
+
+  while (machine_.Now() < deadline) {
+    // The idle loop's own instruction fetches — through the caches normally, around them
+    // when the §10.1 extension is enabled.
+    if (config_.uncached_idle_task) {
+      machine_.TouchInstruction(PhysAddr::FromFrame(kIdleTextPage), /*cached=*/false);
+    } else {
+      KernelTouch(EffAddr(kKernelVirtualBase + kIdleTextPage * kPageSize),
+                  AccessKind::kInstructionFetch);
+    }
+    machine_.AddCycles(Cycles(10));
+
+    bool worked = false;
+    if (config_.idle_zombie_reclaim && mmu_->policy().UsesHtab()) {
+      const uint32_t reclaimed =
+          mmu_->htab().ReclaimZombies(config_.idle_reclaim_ptegs_per_pass, vsids_, pt_charger);
+      counters.zombies_reclaimed += reclaimed;
+      if (reclaimed > 0) {
+        machine_.Trace(TraceEvent::kZombieReclaim, reclaimed);
+      }
+      worked = true;  // the scan itself consumed cycles
+    }
+    if (config_.idle_zero != IdleZeroPolicy::kOff) {
+      worked = mem_.IdleZeroOnePage() || worked;
+    }
+    if (!worked) {
+      machine_.AddCycles(Cycles(20));
+    }
+  }
+}
+
+// ---- faults ----
+
+void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
+  HwCounters& counters = machine_.counters();
+  ++counters.page_faults;
+  machine_.Trace(TraceEvent::kPageFault, ea.EffPageNumber());
+  ChargeKernelWork(KernelOp::kFault);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.fault_body_opt
+                                                       : costs_.fault_body_unopt));
+
+  Mm& mm = *task.mm;
+  const uint32_t page = ea.EffPageNumber();
+  const std::optional<Vma> vma = mm.vmas.Find(page);
+  PPCMM_CHECK_MSG(vma.has_value(), "page fault outside any VMA at 0x" << std::hex << ea.value
+                                                                      << " (task " << std::dec
+                                                                      << task.id.value << ")");
+  PPCMM_CHECK_MSG(!IsWrite(kind) || vma->writable,
+                  "write fault on read-only VMA at 0x" << std::hex << ea.value);
+
+  DataMemCharger charger = mmu_->PageTableCharger();
+  LinuxPte pte{.present = true,
+               .writable = false,
+               .user = true,
+               .accessed = true,
+               .dirty = IsWrite(kind),
+               .cache_inhibited = false,
+               .cow = false,
+               .frame = 0};
+
+  if (vma->backing == VmaBacking::kShm) {
+    // Shared segment: everyone maps the same frame, writable, never COW.
+    auto segment = shm_segments_.find(vma->file_id);
+    PPCMM_CHECK_MSG(segment != shm_segments_.end(), "fault on a destroyed shm segment");
+    const uint32_t frame = segment->second.frames[page - vma->start_page];
+    allocator_.AddRef(frame);
+    pte.frame = frame;
+    pte.writable = vma->writable;
+    mm.page_table->Map(ea, pte, &charger);
+    return;
+  }
+  if (vma->backing == VmaBacking::kIo) {
+    // Device aperture: a fixed physical frame, always cache inhibited, never refcounted.
+    pte.frame = vma->io_first_frame + (page - vma->start_page);
+    pte.writable = vma->writable;
+    pte.cache_inhibited = true;
+    mm.page_table->Map(ea, pte, &charger);
+    return;
+  }
+  if (vma->backing == VmaBacking::kFile) {
+    const uint32_t file_page = vma->file_page_offset + (page - vma->start_page);
+    bool miss = false;
+    const uint32_t cache_frame = page_cache_.GetPage(FileId{vma->file_id}, file_page, &miss);
+    if (miss) {
+      SimulateIoWait(Cycles(costs_.disk_latency_cycles));
+    }
+    if (vma->writable) {
+      // Private writable file mapping: give the task its own copy.
+      const uint32_t frame = mem_.GetFreePage();
+      for (uint32_t offset = 0; offset < kPageSize; offset += machine_.config().dcache.line_bytes) {
+        machine_.TouchData(PhysAddr::FromFrame(cache_frame, offset), /*is_write=*/false);
+        machine_.TouchData(PhysAddr::FromFrame(frame, offset), /*is_write=*/true);
+        machine_.AddCycles(Cycles(costs_.copy_cycles_per_line));
+      }
+      machine_.memory().Copy(PhysAddr::FromFrame(frame), PhysAddr::FromFrame(cache_frame),
+                             kPageSize);
+      pte.frame = frame;
+      pte.writable = true;
+    } else {
+      // Shared read-only (program text): map the page-cache frame directly.
+      allocator_.AddRef(cache_frame);
+      pte.frame = cache_frame;
+    }
+  } else {
+    pte.frame = mem_.GetFreePage();
+    pte.writable = vma->writable;
+  }
+
+  mm.page_table->Map(ea, pte, &charger);
+}
+
+void Kernel::HandleCowFault(Task& task, EffAddr ea) {
+  HwCounters& counters = machine_.counters();
+  ++counters.page_faults;
+  machine_.Trace(TraceEvent::kCowFault, ea.EffPageNumber());
+  ChargeKernelWork(KernelOp::kFault);
+  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.fault_body_opt
+                                                       : costs_.fault_body_unopt));
+
+  Mm& mm = *task.mm;
+  const std::optional<LinuxPte> pte = mm.page_table->LookupQuiet(ea);
+  PPCMM_CHECK_MSG(pte.has_value() && pte->present && pte->cow, "COW fault without a COW PTE");
+
+  DataMemCharger charger = mmu_->PageTableCharger();
+  if (allocator_.RefCount(pte->frame) == 1) {
+    // Sole owner: just restore write permission.
+    mm.page_table->Update(
+        ea,
+        [](LinuxPte& p) {
+          p.writable = true;
+          p.cow = false;
+        },
+        &charger);
+  } else {
+    const uint32_t frame = mem_.GetFreePage();
+    for (uint32_t offset = 0; offset < kPageSize; offset += machine_.config().dcache.line_bytes) {
+      machine_.TouchData(PhysAddr::FromFrame(pte->frame, offset), /*is_write=*/false);
+      machine_.TouchData(PhysAddr::FromFrame(frame, offset), /*is_write=*/true);
+      machine_.AddCycles(Cycles(costs_.copy_cycles_per_line));
+    }
+    machine_.memory().Copy(PhysAddr::FromFrame(frame), PhysAddr::FromFrame(pte->frame),
+                           kPageSize);
+    allocator_.DecRef(pte->frame);
+    mm.page_table->Update(
+        ea,
+        [frame](LinuxPte& p) {
+          p.frame = frame;
+          p.writable = true;
+          p.cow = false;
+        },
+        &charger);
+  }
+  // The read-only translation may still be cached in the TLB/HTAB; scrub it.
+  flusher_.FlushPage(mm, ea);
+}
+
+// ---- plumbing ----
+
+void Kernel::CopyUserKernel(EffAddr user, PhysAddr kernel, uint32_t length, bool to_user) {
+  const uint32_t line = machine_.config().dcache.line_bytes;
+  uint32_t done = 0;
+  while (done < length) {
+    const EffAddr user_ea = user + done;
+    const uint32_t page_remaining = kPageSize - user_ea.PageOffset();
+    const uint32_t chunk = std::min({line - (user_ea.value % line), length - done,
+                                     page_remaining});
+    // The user side of the copy (faulting the page in if needed) and the kernel side.
+    UserTouch(user_ea, to_user ? AccessKind::kStore : AccessKind::kLoad);
+    machine_.TouchData(kernel + done, /*is_write=*/!to_user);
+    machine_.AddCycles(Cycles(costs_.copy_cycles_per_line));
+
+    // Functionally move the bytes so data-integrity tests hold end to end.
+    const std::optional<PhysAddr> user_pa =
+        mmu_->Probe(user_ea, to_user ? AccessKind::kStore : AccessKind::kLoad);
+    PPCMM_CHECK_MSG(user_pa.has_value(), "user page vanished mid-copy");
+    if (to_user) {
+      machine_.memory().Copy(*user_pa, kernel + done, chunk);
+    } else {
+      machine_.memory().Copy(kernel + done, *user_pa, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void Kernel::KernelTouch(EffAddr ea, AccessKind kind) {
+  PPCMM_CHECK_MSG(ea.IsKernel(), "KernelTouch on user address 0x" << std::hex << ea.value);
+  const AccessOutcome outcome = mmu_->Access(ea, kind);
+  PPCMM_CHECK_MSG(outcome == AccessOutcome::kOk, "kernel access faulted at 0x" << std::hex
+                                                                               << ea.value);
+}
+
+void Kernel::ChargeKernelWork(KernelOp op) {
+  Footprint fp;
+  switch (op) {
+    case KernelOp::kSyscallEntry:
+      fp = Footprint{.text_page = 0, .text_pages = 2, .data_offset = 0x0000, .data_refs = 2};
+      break;
+    case KernelOp::kContextSwitch:
+      fp = Footprint{.text_page = 20, .text_pages = 3, .data_offset = 0x0400, .data_refs = 6};
+      break;
+    case KernelOp::kPipe:
+      fp = Footprint{.text_page = 40, .text_pages = 3, .data_offset = 0x0800, .data_refs = 4};
+      break;
+    case KernelOp::kFileIo:
+      fp = Footprint{.text_page = 60, .text_pages = 5, .data_offset = 0x0C00, .data_refs = 6};
+      break;
+    case KernelOp::kFault:
+      fp = Footprint{.text_page = 80, .text_pages = 4, .data_offset = 0x1000, .data_refs = 4};
+      break;
+    case KernelOp::kFork:
+      fp = Footprint{.text_page = 100, .text_pages = 8, .data_offset = 0x1400, .data_refs = 10};
+      break;
+    case KernelOp::kExec:
+      fp = Footprint{.text_page = 110, .text_pages = 10, .data_offset = 0x1800, .data_refs = 10};
+      break;
+    case KernelOp::kMmapCall:
+      fp = Footprint{.text_page = 130, .text_pages = 4, .data_offset = 0x1C00, .data_refs = 6};
+      break;
+    case KernelOp::kIdleLoop:
+      fp = Footprint{.text_page = kIdleTextPage, .text_pages = 1, .data_offset = 0x2000,
+                     .data_refs = 1};
+      break;
+  }
+  // The original C paths are roughly twice the code and touch twice the data (§6.1).
+  const uint32_t scale = config_.optimized_handlers ? 1 : 2;
+
+  for (uint32_t p = 0; p < fp.text_pages * scale; ++p) {
+    const uint32_t page = fp.text_page + p;
+    const EffAddr code(kKernelVirtualBase + page * kPageSize);
+    // Two instruction-cache lines per page of handler code executed.
+    KernelTouch(code, AccessKind::kInstructionFetch);
+    KernelTouch(code + 128, AccessKind::kInstructionFetch);
+  }
+  for (uint32_t d = 0; d < fp.data_refs * scale; ++d) {
+    const EffAddr data(kKernelVirtualBase + kKernelDataPhysBase + fp.data_offset + d * 64);
+    KernelTouch(data, (d % 3 == 0) ? AccessKind::kStore : AccessKind::kLoad);
+  }
+}
+
+void Kernel::MarkPteDirty(EffAddr ea, MemCharger& charger) {
+  PageTable* table = nullptr;
+  if (ea.IsKernel()) {
+    table = kernel_page_table_.get();
+  } else if (current_.value != 0) {
+    table = CurrentTask().mm->page_table.get();
+  }
+  if (table == nullptr) {
+    return;
+  }
+  const std::optional<LinuxPte> pte = table->LookupQuiet(ea);
+  if (pte.has_value() && pte->present) {
+    table->Update(ea, [](LinuxPte& p) { p.dirty = true; }, &charger);
+  }
+}
+
+std::optional<PteWalkInfo> Kernel::WalkPte(EffAddr ea, MemCharger& charger) {
+  // Load 1 of the paper's three: the PGD pointer out of the task structure.
+  if (ea.IsKernel()) {
+    charger.Charge(PhysAddr(kKernelMiscPhysBase), /*is_write=*/false);
+    const std::optional<LinuxPte> pte = kernel_page_table_->Lookup(ea, charger);
+    if (!pte.has_value() || !pte->present) {
+      return std::nullopt;
+    }
+    return PteWalkInfo{.frame = pte->frame,
+                       .writable = pte->writable,
+                       .cache_inhibited = pte->cache_inhibited};
+  }
+  if (current_.value == 0) {
+    return std::nullopt;
+  }
+  Task& current = CurrentTask();
+  charger.Charge(current.task_struct_pa, /*is_write=*/false);
+  const std::optional<LinuxPte> pte = current.mm->page_table->Lookup(ea, charger);
+  if (!pte.has_value() || !pte->present) {
+    return std::nullopt;
+  }
+  return PteWalkInfo{.frame = pte->frame,
+                     .writable = pte->writable,
+                     .cache_inhibited = pte->cache_inhibited};
+}
+
+}  // namespace ppcmm

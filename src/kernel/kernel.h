@@ -1,0 +1,273 @@
+// The mini-kernel: a Linux/PPC-shaped process and memory-management core over the simulated
+// machine and MMU.
+//
+// It implements exactly the mechanisms the paper optimizes — demand paging through the
+// two-level PTE tree, copy-on-write fork, exec, mmap/munmap with range flushing, pipes,
+// a page-cache file layer, context switching, and an idle task that can reclaim zombie HTAB
+// entries (§7) and pre-zero pages (§9). Every kernel operation charges realistic instruction
+// and data traffic against the machine, through the MMU, so kernel code competes with user
+// code for TLB slots and cache lines (the §5.1 footprint effect).
+
+#ifndef PPCMM_SRC_KERNEL_KERNEL_H_
+#define PPCMM_SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/kernel/flush.h"
+#include "src/kernel/layout.h"
+#include "src/kernel/mem_manager.h"
+#include "src/kernel/mm.h"
+#include "src/kernel/opt_config.h"
+#include "src/kernel/page_cache.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/task.h"
+#include "src/kernel/vsid_space.h"
+#include "src/mmu/mmu.h"
+#include "src/pagetable/page_allocator.h"
+#include "src/sim/machine.h"
+
+namespace ppcmm {
+
+// Tunable flat costs of kernel code paths, in cycles, beyond the charged memory traffic.
+// The optimized values model the paper's hand-scheduled assembly paths (§6.1); the
+// unoptimized values the original save-state-and-call-C paths.
+struct KernelCostModel {
+  uint32_t syscall_body_unopt = 1500;
+  uint32_t syscall_body_opt = 140;
+  uint32_t ctxsw_body_unopt = 1800;
+  uint32_t ctxsw_body_opt = 260;
+  uint32_t fault_body_unopt = 500;
+  uint32_t fault_body_opt = 180;
+  uint32_t fork_body = 1200;
+  uint32_t exec_body = 2500;
+  uint32_t copy_cycles_per_line = 24;  // word loop per 32-byte line, beyond cache accesses
+  // sleep_on()/wake_up() pair charged on every pipe operation: blocking handoff through the
+  // wait queue and run queue, the reason lat_pipe far exceeds 2*syscall + ctxsw.
+  uint32_t pipe_wakeup_unopt = 1300;
+  uint32_t pipe_wakeup_opt = 600;
+  uint32_t disk_latency_cycles = 60000;  // rotational+transfer wait per page-cache miss
+};
+
+// Options for Mmap().
+struct MmapOptions {
+  std::optional<uint32_t> fixed_page;  // map at exactly this page (unmapping what's there)
+  std::optional<FileId> file;          // file backing (nullopt = anonymous)
+  uint32_t file_page_offset = 0;
+  bool writable = true;
+};
+
+// The image installed by Exec().
+struct ExecImage {
+  uint32_t text_pages = 16;
+  uint32_t data_pages = 8;
+  uint32_t stack_pages = 4;
+  std::optional<FileId> text_file;  // shared text via the page cache when set
+};
+
+// One pipe: a single kernel buffer page with circular head/tail, plus the wait queues the
+// blocking variants sleep on.
+struct PipeState {
+  uint32_t buffer_frame = 0;
+  uint32_t used = 0;
+  uint32_t read_pos = 0;
+  WaitQueue readers;  // blocked until data arrives
+  WaitQueue writers;  // blocked until space frees
+  static constexpr uint32_t kCapacity = kPageSize;
+};
+
+// The kernel.
+class Kernel : public PteBackingSource {
+ public:
+  Kernel(Machine& machine, const OptimizationConfig& config,
+         const KernelCostModel& costs = KernelCostModel{});
+  ~Kernel() override;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- process management ----
+
+  // Creates a runnable task with an empty address space and switches nothing.
+  TaskId CreateTask(std::string name);
+  // Installs a fresh image into `task` (flushing its old context) and makes its initial
+  // VMAs: text, data (heap) and stack.
+  void Exec(TaskId task, const ExecImage& image);
+  // Copy-on-write fork of `parent`. Returns the child.
+  TaskId Fork(TaskId parent);
+  // Tears the task down, freeing its pages and flushing its context.
+  void Exit(TaskId task);
+  // Context switch to `task` (which must exist and not be a zombie).
+  void SwitchTo(TaskId task);
+
+  TaskId current() const { return current_; }
+  Task& task(TaskId id);
+  bool TaskExists(TaskId id) const { return tasks_.contains(id.value); }
+  uint32_t TaskCount() const { return static_cast<uint32_t>(tasks_.size()); }
+
+  // ---- syscalls ----
+
+  // getpid()-shaped syscall: entry/exit and nothing else.
+  void NullSyscall();
+
+  // mmap(): returns the start page of the new mapping. With `fixed_page`, anything already
+  // mapped there is unmapped first — this is the path whose flush cost the paper measured
+  // at 3+ milliseconds before the lazy scheme (§7).
+  uint32_t Mmap(uint32_t page_count, const MmapOptions& options = MmapOptions{});
+  void Munmap(uint32_t start_page, uint32_t page_count);
+
+  // Maps the framebuffer aperture into the current task at kUserFramebufferBase (always
+  // cache inhibited). With the framebuffer_bat extension a user-visible data BAT covers the
+  // aperture instead of PTEs, so the mapping consumes no TLB or HTAB entries (§5.1).
+  // Returns the start page.
+  uint32_t MapFramebuffer();
+  // First physical frame of the framebuffer aperture.
+  uint32_t FramebufferFirstFrame() const { return framebuffer_first_frame_; }
+  bool IsIoFrame(uint32_t frame) const { return frame >= framebuffer_first_frame_; }
+
+  // read()/write() through the page cache into/out of the current task's buffer.
+  void FileRead(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_dst);
+  void FileWrite(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_src);
+
+  // ---- shared memory (SysV shm in miniature) ----
+
+  // Creates a shared segment of zeroed pages; returns its id.
+  uint32_t ShmCreate(uint32_t pages);
+  // Maps segment `shm_id` into the current task (writable, shared — never COW).
+  // Returns the start page.
+  uint32_t ShmAttach(uint32_t shm_id);
+  // Unmaps [start_page, +pages) like munmap (the segment itself survives).
+  void ShmDetach(uint32_t start_page, uint32_t pages);
+  // Destroys the segment, releasing its frames. Mappings must be detached first.
+  void ShmDestroy(uint32_t shm_id);
+
+  // pipes — non-blocking core (returns bytes moved; callers orchestrate switches)...
+  uint32_t CreatePipe();
+  uint32_t PipeWrite(uint32_t pipe, EffAddr user_src, uint32_t length);
+  uint32_t PipeRead(uint32_t pipe, EffAddr user_dst, uint32_t length);
+  // ...and blocking variants that sleep on the pipe's wait queues and let the scheduler run
+  // whoever is ready, like real read(2)/write(2).
+  void PipeWriteBlocking(uint32_t pipe, EffAddr user_src, uint32_t length);
+  void PipeReadBlocking(uint32_t pipe, EffAddr user_dst, uint32_t length);
+
+  // ---- cooperative scheduling ----
+
+  // Installs a hook invoked at the end of every context switch with (previous, next).
+  // The CoopHarness uses it to park and wake task-body threads; pass nullptr to clear.
+  void SetSwitchHook(std::function<void(TaskId, TaskId)> hook) {
+    switch_hook_ = std::move(hook);
+  }
+
+  // Moves the CPU to the longest-runnable task (round-robin); stays put if none.
+  void Yield();
+  // Blocks the current task on `queue` and schedules whoever is ready; trips a check on
+  // deadlock (nothing runnable and nothing in flight to wake anyone).
+  void BlockCurrentOn(WaitQueue& queue);
+  // Wakes the longest waiter on `queue`, making it runnable. Returns true if one woke.
+  bool WakeOne(WaitQueue& queue);
+  void WakeAll(WaitQueue& queue);
+  Scheduler& scheduler() { return scheduler_; }
+
+  // ---- user-mode execution primitives ----
+
+  // One user memory reference at `ea`, faulting pages in as needed.
+  void UserTouch(EffAddr ea, AccessKind kind);
+  // A strided run of user references (convenience for working-set loops).
+  void UserTouchRange(EffAddr start, uint32_t bytes, uint32_t stride, AccessKind kind);
+  // Models `instructions` of straight-line user execution: instruction fetches on the
+  // current task's text page plus the base CPI.
+  void UserExecute(uint32_t instructions);
+
+  // ---- idle task ----
+
+  // Runs the idle task for (at least) `budget` cycles: zombie reclaim and page zeroing per
+  // policy, plain spinning otherwise (§7, §9, §10.1).
+  void RunIdle(Cycles budget);
+  // Models a disk wait: the CPU sits in the idle task for the duration.
+  void SimulateIoWait(Cycles wait) { RunIdle(wait); }
+
+  // ---- component access (instrumentation, tests, benches) ----
+
+  Machine& machine() { return machine_; }
+  Mmu& mmu() { return *mmu_; }
+  VsidSpace& vsids() { return vsids_; }
+  MemManager& mem() { return mem_; }
+  PageCache& page_cache() { return page_cache_; }
+  FlushEngine& flusher() { return flusher_; }
+  PageAllocator& allocator() { return allocator_; }
+  const OptimizationConfig& config() const { return config_; }
+  const KernelCostModel& costs() const { return costs_; }
+  HwCounters& counters() { return machine_.counters(); }
+
+  // PteBackingSource: walks the kernel or current-user page table for the MMU.
+  std::optional<PteWalkInfo> WalkPte(EffAddr ea, MemCharger& charger) override;
+  // PteBackingSource: records a deferred C-bit update in the owning Linux PTE.
+  void MarkPteDirty(EffAddr ea, MemCharger& charger) override;
+
+ private:
+  // Kernel code regions, used to charge per-operation instruction/data footprints.
+  enum class KernelOp {
+    kSyscallEntry,
+    kContextSwitch,
+    kPipe,
+    kFileIo,
+    kFault,
+    kFork,
+    kExec,
+    kMmapCall,
+    kIdleLoop,
+  };
+
+  // Charges the instruction fetches and kernel data references of one operation. With the
+  // original (unoptimized) handlers the footprint doubles — the C paths are fatter.
+  void ChargeKernelWork(KernelOp op);
+  // One kernel memory reference at a kernel virtual address, through the MMU.
+  void KernelTouch(EffAddr ea, AccessKind kind);
+
+  void SetupKernelTranslation();
+  void HandlePageFault(Task& task, EffAddr ea, AccessKind kind);
+  void HandleCowFault(Task& task, EffAddr ea);
+  // Copies between a user range and a kernel physical range, line by line.
+  void CopyUserKernel(EffAddr user, PhysAddr kernel, uint32_t length, bool to_user);
+  // Unmaps PTEs and releases frames in a page range (no flushing; callers flush first).
+  void ReleaseRange(Mm& mm, uint32_t start_page, uint32_t page_count);
+  // Drops one reference to a frame unless it belongs to an I/O aperture.
+  void ReleaseFrame(uint32_t frame);
+  Task& CurrentTask();
+
+  Machine& machine_;
+  OptimizationConfig config_;
+  KernelCostModel costs_;
+  VsidSpace vsids_;
+  PageAllocator allocator_;
+  MemManager mem_;
+  std::unique_ptr<Mmu> mmu_;
+  std::unique_ptr<PageTable> kernel_page_table_;
+  FlushEngine flusher_;
+  PageCache page_cache_;
+
+  std::map<uint32_t, std::unique_ptr<Task>> tasks_;
+  std::map<uint32_t, PipeState> pipes_;
+  struct ShmSegment {
+    std::vector<uint32_t> frames;
+    uint32_t attach_count = 0;
+  };
+  std::map<uint32_t, ShmSegment> shm_segments_;
+  uint32_t next_shm_ = 1;
+  Scheduler scheduler_;
+  std::function<void(TaskId, TaskId)> switch_hook_;
+  uint32_t next_task_ = 1;
+  uint32_t next_pipe_ = 1;
+  uint32_t framebuffer_first_frame_ = 0;
+  TaskId current_{0};
+  uint64_t idle_rr_cursor_ = 0;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,82 @@
+#include "src/kernel/mem_manager.h"
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+uint32_t MemManager::GetFreePage() {
+  HwCounters& counters = machine_.counters();
+  // The unconditional "is there a pre-cleared page?" check (§9: "the only overhead is a
+  // check to see if there are any pre-cleared pages available").
+  machine_.AddCycles(Cycles(2));
+  const bool list_feeds_allocator = config_.idle_zero == IdleZeroPolicy::kCached ||
+                                    config_.idle_zero == IdleZeroPolicy::kUncachedWithList;
+  if (list_feeds_allocator && !prezeroed_.empty()) {
+    const uint32_t frame = prezeroed_.back();
+    prezeroed_.pop_back();
+    ++counters.prezeroed_page_hits;
+    machine_.AddCycles(Cycles(4));  // pop the lock-free list
+    return frame;
+  }
+
+  std::optional<uint32_t> frame = allocator_.Alloc();
+  if (!frame.has_value() && reclaim_) {
+    // Memory pressure: shrink the page cache and retry (a kswapd in miniature).
+    reclaim_(32);
+    frame = allocator_.Alloc();
+  }
+  PPCMM_CHECK_MSG(frame.has_value(), "out of physical memory in get_free_page()");
+  ZeroFrameCharged(*frame, /*cached=*/true);
+  ++counters.pages_zeroed_on_demand;
+  return *frame;
+}
+
+void MemManager::FreePage(uint32_t frame) {
+  machine_.AddCycles(Cycles(4));
+  allocator_.DecRef(frame);
+}
+
+bool MemManager::IdleZeroOnePage() {
+  if (config_.idle_zero == IdleZeroPolicy::kOff) {
+    return false;
+  }
+  HwCounters& counters = machine_.counters();
+
+  const bool keep_on_list = config_.idle_zero == IdleZeroPolicy::kCached ||
+                            config_.idle_zero == IdleZeroPolicy::kUncachedWithList;
+  if (keep_on_list && PrezeroedCount() >= config_.prezero_list_cap) {
+    return false;
+  }
+  // Leave headroom: don't starve the allocator by hoarding pages on the zeroed list.
+  if (allocator_.FreeCount() < 32) {
+    return false;
+  }
+
+  const std::optional<uint32_t> frame = allocator_.Alloc();
+  if (!frame.has_value()) {
+    return false;
+  }
+  const bool cached = config_.idle_zero == IdleZeroPolicy::kCached;
+  ZeroFrameCharged(*frame, cached);
+  ++counters.pages_zeroed_in_idle;
+
+  if (keep_on_list) {
+    prezeroed_.push_back(*frame);
+  } else {
+    // kUncachedNoList: the paper's control experiment — do the work, discard the benefit.
+    allocator_.DecRef(*frame);
+  }
+  return true;
+}
+
+void MemManager::ZeroFrameCharged(uint32_t frame, bool cached) {
+  const uint32_t line = machine_.config().dcache.line_bytes;
+  for (uint32_t offset = 0; offset < kPageSize; offset += line) {
+    machine_.TouchData(PhysAddr::FromFrame(frame, offset), /*is_write=*/true, cached);
+    // The store loop itself: ~2 cycles per 4-byte store beyond the cache access.
+    machine_.AddCycles(Cycles(line / 4 * 2));
+  }
+  machine_.memory().ZeroFrame(frame);
+}
+
+}  // namespace ppcmm

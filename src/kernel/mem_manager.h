@@ -1,0 +1,61 @@
+// get_free_page() and the idle task's pre-zeroed page list (§9 of the paper).
+//
+// Demand path: allocate a frame and zero it through the data cache — 128 line-allocating
+// stores that both cost time and pollute the cache with lines the requester will overwrite
+// anyway. Idle path (policy dependent): the idle task zeroes free frames ahead of time,
+// through or around the cache, and optionally stashes them on a list that get_free_page()
+// consumes. The paper measured all three variants; all three are here.
+
+#ifndef PPCMM_SRC_KERNEL_MEM_MANAGER_H_
+#define PPCMM_SRC_KERNEL_MEM_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/kernel/opt_config.h"
+#include "src/pagetable/page_allocator.h"
+#include "src/sim/machine.h"
+
+namespace ppcmm {
+
+// Kernel-level page supplier.
+class MemManager {
+ public:
+  MemManager(Machine& machine, PageAllocator& allocator, const OptimizationConfig& config)
+      : machine_(machine), allocator_(allocator), config_(config) {}
+
+  // Installs the memory-pressure hook: called with a target frame count when the allocator
+  // runs dry; returns how many frames it freed (the kernel wires this to page-cache
+  // eviction). Allocation failure with no hook — or a hook that frees nothing — is fatal.
+  void SetReclaimHook(std::function<uint32_t(uint32_t)> hook) { reclaim_ = std::move(hook); }
+
+  // get_free_page(): returns a zeroed frame. Checks the pre-zeroed list first (a couple of
+  // cycles — the paper argues this check is the only overhead the feature adds), zeroing on
+  // demand otherwise. Reclaims from the page cache under memory pressure.
+  uint32_t GetFreePage();
+
+  // Releases one reference to a frame.
+  void FreePage(uint32_t frame);
+
+  // One idle-task zeroing step: zero one free frame per the configured policy. Returns true
+  // if a page was zeroed (false when the policy is off, the list is full, or RAM is tight).
+  bool IdleZeroOnePage();
+
+  uint32_t PrezeroedCount() const { return static_cast<uint32_t>(prezeroed_.size()); }
+  PageAllocator& allocator() { return allocator_; }
+
+ private:
+  // Zeroes `frame` with per-line charged stores, through the cache or around it.
+  void ZeroFrameCharged(uint32_t frame, bool cached);
+
+  Machine& machine_;
+  PageAllocator& allocator_;
+  const OptimizationConfig& config_;
+  std::vector<uint32_t> prezeroed_;
+  std::function<uint32_t(uint32_t)> reclaim_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_MEM_MANAGER_H_

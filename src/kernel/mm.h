@@ -1,0 +1,28 @@
+// One address space: context id, VSIDs, the VMA list and the two-level page table.
+
+#ifndef PPCMM_SRC_KERNEL_MM_H_
+#define PPCMM_SRC_KERNEL_MM_H_
+
+#include <memory>
+
+#include "src/kernel/vma.h"
+#include "src/kernel/vsid_space.h"
+#include "src/pagetable/page_table.h"
+
+namespace ppcmm {
+
+// The memory-management half of a task. Owned by exactly one Task (no thread sharing in
+// this model; the paper's workloads are process based).
+struct Mm {
+  Mm(VsidSpace& vsids, PageAllocator& allocator, PhysicalMemory& memory)
+      : context(vsids.NewContext()),
+        page_table(std::make_unique<PageTable>(allocator, memory)) {}
+
+  ContextId context;  // reassigned by lazy whole-context flushes
+  VmaList vmas;
+  std::unique_ptr<PageTable> page_table;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_MM_H_

@@ -1,0 +1,85 @@
+// Cooperative scheduler: a round-robin run queue plus wait queues, so workloads can use
+// blocking pipe I/O instead of hand-orchestrated context switches.
+//
+// The paper's benchmarks run on the real Linux scheduler; this is the minimal faithful
+// equivalent: FIFO run queue, sleep_on/wake_up-style wait queues, and the idle task as the
+// fallback when nothing is runnable. Deadlock (everything blocked, nothing to wake anyone)
+// is a programming error and trips a check.
+
+#ifndef PPCMM_SRC_KERNEL_SCHEDULER_H_
+#define PPCMM_SRC_KERNEL_SCHEDULER_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "src/kernel/task.h"
+
+namespace ppcmm {
+
+// One wait queue (a pipe's readers, a pipe's writers, ...).
+class WaitQueue {
+ public:
+  void Add(TaskId task) { waiters_.push_back(task); }
+
+  // Pops the longest-waiting task, if any.
+  std::optional<TaskId> PopOne() {
+    if (waiters_.empty()) {
+      return std::nullopt;
+    }
+    const TaskId task = waiters_.front();
+    waiters_.pop_front();
+    return task;
+  }
+
+  // Removes a task wherever it sits (task exit while queued).
+  void Remove(TaskId task) {
+    std::erase_if(waiters_, [task](TaskId t) { return t == task; });
+  }
+
+  bool Empty() const { return waiters_.empty(); }
+  uint32_t Size() const { return static_cast<uint32_t>(waiters_.size()); }
+
+ private:
+  std::deque<TaskId> waiters_;
+};
+
+// The FIFO run queue.
+class Scheduler {
+ public:
+  // Appends `task` if it is not already queued.
+  void MakeRunnable(TaskId task) {
+    if (queued_.insert(task.value).second) {
+      queue_.push_back(task);
+    }
+  }
+
+  // Removes `task` entirely (blocked or exited).
+  void Remove(TaskId task) {
+    if (queued_.erase(task.value) > 0) {
+      std::erase_if(queue_, [task](TaskId t) { return t == task; });
+    }
+  }
+
+  // Pops the head of the queue, or nullopt when nothing is runnable.
+  std::optional<TaskId> PickNext() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const TaskId task = queue_.front();
+    queue_.pop_front();
+    queued_.erase(task.value);
+    return task;
+  }
+
+  bool IsQueued(TaskId task) const { return queued_.contains(task.value); }
+  uint32_t RunnableCount() const { return static_cast<uint32_t>(queue_.size()); }
+
+ private:
+  std::deque<TaskId> queue_;
+  std::unordered_set<uint32_t> queued_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_SCHEDULER_H_

@@ -1,0 +1,49 @@
+// Task structure: the mini-kernel's process descriptor.
+
+#ifndef PPCMM_SRC_KERNEL_TASK_H_
+#define PPCMM_SRC_KERNEL_TASK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/kernel/mm.h"
+#include "src/sim/phys_addr.h"
+
+namespace ppcmm {
+
+// Process identifier.
+struct TaskId {
+  uint32_t value = 0;
+  constexpr auto operator<=>(const TaskId&) const = default;
+};
+
+enum class TaskState {
+  kRunnable,
+  kRunning,
+  kBlocked,  // waiting on a pipe or simulated I/O
+  kZombie,   // exited, not yet reaped
+};
+
+// One process.
+struct Task {
+  TaskId id;
+  std::string name;
+  TaskState state = TaskState::kRunnable;
+  std::unique_ptr<Mm> mm;
+
+  // Physical address of this task's task-struct in the kernel misc area; the first load of
+  // every PTE-tree walk (the PGD pointer) is charged here, and context switches touch it.
+  PhysAddr task_struct_pa;
+
+  // Simple program-behaviour state used by the workloads: the current user program counter
+  // page and stack page (so instruction fetches and stack touches are realistic).
+  uint32_t text_page = 0;   // effective page number of the code being "executed"
+  uint32_t stack_page = 0;  // effective page number of the top of stack
+
+  uint64_t user_cycles = 0;  // accounting only
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_TASK_H_

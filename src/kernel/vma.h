@@ -1,0 +1,79 @@
+// Virtual memory areas: the kernel's record of what each address space has mapped.
+//
+// A deliberately Linux-shaped structure: an ordered list of non-overlapping [start, end)
+// page ranges with protection and backing information. mmap()/munmap()/exec()/fork() edit
+// this list; demand faults consult it to decide whether an access is legal and what should
+// back the page.
+
+#ifndef PPCMM_SRC_KERNEL_VMA_H_
+#define PPCMM_SRC_KERNEL_VMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/mmu/addr.h"
+
+namespace ppcmm {
+
+// What backs a mapping.
+enum class VmaBacking {
+  kAnonymous,  // demand-zero pages
+  kFile,       // pages come from the page cache
+  kIo,         // fixed physical frames (framebuffer/device apertures), cache inhibited
+  kShm,        // a shared-memory segment: frames shared across address spaces, no COW
+};
+
+// One mapped region. Page-granular: [start_page, end_page) in effective page numbers.
+struct Vma {
+  uint32_t start_page = 0;
+  uint32_t end_page = 0;  // exclusive
+  bool writable = false;
+  VmaBacking backing = VmaBacking::kAnonymous;
+  uint32_t file_id = 0;       // valid when backing == kFile; segment id when kShm
+  uint32_t file_page_offset = 0;  // first file page this VMA maps
+  uint32_t io_first_frame = 0;    // valid when backing == kIo: physical frame of start_page
+
+  uint32_t PageCount() const { return end_page - start_page; }
+  bool Contains(uint32_t page) const { return page >= start_page && page < end_page; }
+};
+
+// The per-address-space set of VMAs.
+class VmaList {
+ public:
+  VmaList() = default;
+
+  // Inserts a region; it must not overlap any existing one.
+  void Insert(const Vma& vma);
+
+  // Finds the VMA containing `page`, if any.
+  std::optional<Vma> Find(uint32_t page) const;
+
+  // Removes [start_page, start_page + page_count), splitting or trimming VMAs that straddle
+  // the boundary. Returns the number of previously mapped pages removed.
+  uint32_t Remove(uint32_t start_page, uint32_t page_count);
+
+  // True if [start_page, start_page + page_count) overlaps nothing.
+  bool RangeIsFree(uint32_t start_page, uint32_t page_count) const;
+
+  // Finds the lowest free gap of `page_count` pages at or above `hint_page`.
+  uint32_t FindFreeRange(uint32_t hint_page, uint32_t page_count) const;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [start, vma] : vmas_) {
+      fn(vma);
+    }
+  }
+
+  uint32_t Count() const { return static_cast<uint32_t>(vmas_.size()); }
+  uint32_t TotalPages() const;
+  void Clear() { vmas_.clear(); }
+
+ private:
+  std::map<uint32_t, Vma> vmas_;  // keyed by start_page
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_VMA_H_

@@ -1,0 +1,74 @@
+#include "src/kernel/vsid_space.h"
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+// Kernel VSIDs live at the very top of the 24-bit space, far away from anything the scatter
+// multiplication can produce for realistic context counts.
+constexpr uint32_t kKernelVsidBase = 0xFFFFF0;
+
+}  // namespace
+
+VsidSpace::VsidSpace(uint32_t scatter_constant) : scatter_(scatter_constant) {
+  PPCMM_CHECK_MSG(scatter_constant > 0, "scatter constant must be non-zero");
+}
+
+ContextId VsidSpace::NewContext() {
+  const ContextId ctx{next_context_++};
+  live_contexts_.insert(ctx.value);
+  for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+    live_vsids_.insert(UserVsid(ctx, seg).value);
+  }
+  return ctx;
+}
+
+void VsidSpace::Retire(ContextId ctx) {
+  if (live_contexts_.erase(ctx.value) == 0) {
+    return;  // already retired
+  }
+  for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+    live_vsids_.erase(UserVsid(ctx, seg).value);
+  }
+}
+
+Vsid VsidSpace::UserVsid(ContextId ctx, uint32_t segment) const {
+  PPCMM_CHECK(segment < kFirstKernelSegment);
+  // The Linux/PPC shape: a munged context plus a per-segment offset (0x111 spreads the 12
+  // segments of one context over nearby hash rows). With a dense scatter (e.g. 16, i.e.
+  // PID << 4) the hash's row selection degenerates to the page index — every process lands
+  // on the same rows; a non-power-of-two multiplier like 897 gives each context its own
+  // region of the table (§5.2).
+  return Vsid((ctx.value * scatter_ + segment * kSegmentVsidStride) & kVsidMask);
+}
+
+Vsid VsidSpace::KernelVsid(uint32_t segment) {
+  PPCMM_CHECK(segment >= kFirstKernelSegment && segment < kNumSegments);
+  return Vsid(kKernelVsidBase + (segment - kFirstKernelSegment));
+}
+
+bool VsidSpace::IsKernelVsid(Vsid vsid) {
+  return vsid.value >= kKernelVsidBase && vsid.value < kKernelVsidBase + kNumSegments;
+}
+
+std::array<Vsid, kNumSegments> VsidSpace::SegmentImage(ContextId ctx) const {
+  std::array<Vsid, kNumSegments> image;
+  for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+    image[seg] = UserVsid(ctx, seg);
+  }
+  for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
+    image[seg] = KernelVsid(seg);
+  }
+  return image;
+}
+
+bool VsidSpace::IsLive(Vsid vsid) const {
+  if (IsKernelVsid(vsid)) {
+    return true;
+  }
+  return live_vsids_.contains(vsid.value);
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,84 @@
+// VSID allocation: memory-management contexts and their virtual segment identifiers.
+//
+// Implements both halves of the paper's §5.2/§7 story:
+//   * VSIDs are derived from a context number multiplied by a small non-power-of-two
+//     "scatter" constant, tuned to spread PTEs across the hash table and kill hot-spots.
+//   * With lazy flushing, flushing a context means retiring its VSIDs (they become
+//     "zombies" — still marked valid in HTAB/TLB entries but matching no live context)
+//     and drawing fresh ones from a monotonically increasing context counter.
+//
+// The class is the system's VsidOracle: the HTAB uses it to tell live evictions apart from
+// harmless zombie overwrites, and the idle task uses it to reclaim zombies.
+
+#ifndef PPCMM_SRC_KERNEL_VSID_SPACE_H_
+#define PPCMM_SRC_KERNEL_VSID_SPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/mmu/addr.h"
+#include "src/mmu/vsid_oracle.h"
+
+namespace ppcmm {
+
+// A memory-management context number. Each live address space holds one; lazy flushing
+// retires it and assigns a fresh one.
+struct ContextId {
+  uint32_t value = 0;
+  constexpr auto operator<=>(const ContextId&) const = default;
+};
+
+// The default scatter constant. Non-power-of-two, co-prime with the PTEG count, found by the
+// same histogram-guided tuning the paper describes (see bench/sec5_hash_utilization).
+inline constexpr uint32_t kDefaultVsidScatter = 897;
+
+// The per-segment VSID offset (Linux/PPC used 0x111): keeps the 12 user segments of one
+// context distinct while letting the context term dominate the hash distribution. VSIDs
+// remain unique provided scatter * delta_ctx never equals 0x111 * delta_seg — true for the
+// dense default (16) at any context count and for 897 up to ~18k live+zombie contexts.
+inline constexpr uint32_t kSegmentVsidStride = 0x111;
+
+// The dense, PID-derived scheme the paper started from (effectively PID << 4): safe for
+// isolation, catastrophic for hash spread.
+inline constexpr uint32_t kNaiveVsidScatter = 16;
+
+// Allocates contexts and maps (context, segment) pairs to VSIDs.
+class VsidSpace : public VsidOracle {
+ public:
+  explicit VsidSpace(uint32_t scatter_constant = kDefaultVsidScatter);
+
+  // Draws a fresh context and marks its user VSIDs live.
+  ContextId NewContext();
+
+  // Retires a context: its VSIDs leave the live set and become zombies wherever they are
+  // still cached. Safe to call once per context.
+  void Retire(ContextId ctx);
+
+  // The VSID for one user segment (0..11) of a context.
+  Vsid UserVsid(ContextId ctx, uint32_t segment) const;
+
+  // The fixed VSID for one kernel segment (12..15). Always live.
+  static Vsid KernelVsid(uint32_t segment);
+  static bool IsKernelVsid(Vsid vsid);
+
+  // The full 16-register segment image for a context (user VSIDs + fixed kernel VSIDs).
+  std::array<Vsid, kNumSegments> SegmentImage(ContextId ctx) const;
+
+  // VsidOracle: kernel VSIDs and the VSIDs of unretired contexts are live.
+  bool IsLive(Vsid vsid) const override;
+
+  uint32_t scatter() const { return scatter_; }
+  uint32_t LiveContextCount() const { return static_cast<uint32_t>(live_contexts_.size()); }
+  uint32_t ContextsIssued() const { return next_context_; }
+
+ private:
+  uint32_t scatter_;
+  uint32_t next_context_ = 1;  // context 0 is never issued (reserved)
+  std::unordered_set<uint32_t> live_contexts_;
+  std::unordered_set<uint32_t> live_vsids_;  // user VSIDs of live contexts
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_KERNEL_VSID_SPACE_H_

@@ -1,0 +1,93 @@
+// Effective and virtual address types for the 32-bit PowerPC translation path (Figure 1 of
+// the paper):
+//
+//   32-bit effective address = [ 4-bit segment # | 16-bit page index | 12-bit byte offset ]
+//   52-bit virtual address   = [ 24-bit VSID     | 16-bit page index | 12-bit byte offset ]
+//
+// The 4 high-order EA bits select one of 16 segment registers; the register supplies the
+// 24-bit virtual segment identifier (VSID) that replaces them, yielding the 52-bit virtual
+// address that the TLB and hashed page table are keyed by.
+
+#ifndef PPCMM_SRC_MMU_ADDR_H_
+#define PPCMM_SRC_MMU_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+
+#include "src/sim/phys_addr.h"
+
+namespace ppcmm {
+
+inline constexpr uint32_t kNumSegments = 16;
+inline constexpr uint32_t kSegmentShift = 28;
+inline constexpr uint32_t kPageIndexBits = 16;
+inline constexpr uint32_t kPageIndexMask = (1u << kPageIndexBits) - 1;
+inline constexpr uint32_t kVsidBits = 24;
+inline constexpr uint32_t kVsidMask = (1u << kVsidBits) - 1;
+
+// The Linux/PPC kernel virtual base: segments 12..15 (0xC0000000 and up) belong to the
+// kernel (§5.1 of the paper).
+inline constexpr uint32_t kKernelVirtualBase = 0xC0000000u;
+inline constexpr uint32_t kFirstKernelSegment = kKernelVirtualBase >> kSegmentShift;  // 12
+
+// A 32-bit effective (program-visible) address.
+struct EffAddr {
+  uint32_t value = 0;
+
+  constexpr EffAddr() = default;
+  constexpr explicit EffAddr(uint32_t v) : value(v) {}
+
+  constexpr auto operator<=>(const EffAddr&) const = default;
+
+  // Index of the segment register selected by the top 4 bits.
+  constexpr uint32_t SegmentIndex() const { return value >> kSegmentShift; }
+  // 16-bit page index within the segment.
+  constexpr uint32_t PageIndex() const { return (value >> kPageShift) & kPageIndexMask; }
+  // 20-bit effective page number (segment << 16 | page index).
+  constexpr uint32_t EffPageNumber() const { return value >> kPageShift; }
+  // 12-bit byte offset within the page.
+  constexpr uint32_t PageOffset() const { return value & kPageOffsetMask; }
+  // True if the address lies in the kernel's reserved region.
+  constexpr bool IsKernel() const { return value >= kKernelVirtualBase; }
+
+  static constexpr EffAddr FromPage(uint32_t eff_page_number, uint32_t offset = 0) {
+    return EffAddr((eff_page_number << kPageShift) | (offset & kPageOffsetMask));
+  }
+
+  friend constexpr EffAddr operator+(EffAddr a, uint32_t delta) {
+    return EffAddr(a.value + delta);
+  }
+};
+
+// A 24-bit virtual segment identifier.
+struct Vsid {
+  uint32_t value = 0;
+
+  constexpr Vsid() = default;
+  constexpr explicit Vsid(uint32_t v) : value(v & kVsidMask) {}
+
+  constexpr auto operator<=>(const Vsid&) const = default;
+};
+
+// A virtual page: the (VSID, page-index) pair that uniquely names one page in the 52-bit
+// virtual space. This is the lookup key for both the TLB and the hashed page table.
+struct VirtPage {
+  Vsid vsid;
+  uint32_t page_index = 0;  // 16 bits
+
+  constexpr auto operator<=>(const VirtPage&) const = default;
+};
+
+// The kind of memory reference being translated.
+enum class AccessKind {
+  kInstructionFetch,
+  kLoad,
+  kStore,
+};
+
+constexpr bool IsWrite(AccessKind kind) { return kind == AccessKind::kStore; }
+constexpr bool IsInstruction(AccessKind kind) { return kind == AccessKind::kInstructionFetch; }
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_ADDR_H_

@@ -1,0 +1,112 @@
+// The PowerPC hashed page table (HTAB).
+//
+// Geometry per the paper (§7): 2048 PTEGs ("buckets") of 8 PTEs each — 16384 entries.
+// A virtual page hashes to a primary PTEG; if neither a match nor a free slot is found
+// there, the one's-complement secondary hash selects an overflow PTEG. A full search
+// therefore touches at most 16 memory locations — the constant behind the expensive eager
+// flushes of §7.
+//
+// Every probe is charged through a MemCharger at the slot's architected physical address, so
+// HTAB traffic shows up in the data cache exactly as it did on the real 604 (§8).
+
+#ifndef PPCMM_SRC_MMU_HASH_TABLE_H_
+#define PPCMM_SRC_MMU_HASH_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/mmu/addr.h"
+#include "src/mmu/hashed_pte.h"
+#include "src/mmu/mem_charge.h"
+#include "src/mmu/vsid_oracle.h"
+#include "src/sim/phys_addr.h"
+
+namespace ppcmm {
+
+// Outcome of inserting a PTE.
+enum class HtabInsertOutcome {
+  kFreeSlot,        // an invalid slot was available
+  kReplacedZombie,  // displaced a valid PTE whose VSID is dead (harmless)
+  kReplacedLive,    // displaced a valid PTE of a live context (a real evict)
+};
+
+// Result of a search.
+struct HtabSearchResult {
+  bool found = false;
+  HashedPte pte;          // valid only when found
+  uint32_t memory_refs = 0;  // slots probed (each charged to the MemCharger)
+};
+
+// The hashed page table.
+class HashTable {
+ public:
+  // `base` is the table's physical address; slot i of PTEG g lives at
+  // base + (g * 8 + i) * 8 bytes. `num_ptegs` must be a power of two.
+  HashTable(uint32_t num_ptegs, PhysAddr base);
+
+  uint32_t num_ptegs() const { return static_cast<uint32_t>(ptegs_.size()); }
+  uint32_t capacity() const { return num_ptegs() * kPtesPerPteg; }
+  PhysAddr base() const { return base_; }
+  uint32_t SizeBytes() const { return capacity() * kPteBytes; }
+
+  // The architected hash functions.
+  uint32_t PrimaryPteg(VirtPage vp) const;
+  uint32_t SecondaryPteg(VirtPage vp) const;
+  // Physical address of one slot (for cache-charging and for the BAT-mapping experiments).
+  PhysAddr SlotAddr(uint32_t pteg, uint32_t slot) const;
+
+  // Searches primary then secondary PTEG for `vp`, charging one read per probed slot.
+  HtabSearchResult Search(VirtPage vp, MemCharger& charger);
+
+  // Inserts `pte`, preferring a free slot in the primary then secondary PTEG; when both are
+  // full, replaces a slot chosen round-robin among the 16 candidates — the paper's
+  // "arbitrary PTE" replacement. The oracle classifies what was displaced.
+  HtabInsertOutcome Insert(const HashedPte& pte, const VsidOracle& oracle, MemCharger& charger);
+
+  // Searches both PTEGs for `vp` and clears its valid bit. Returns the entry that was
+  // invalidated (so the caller can propagate its R/C bits back to the Linux PTE), or
+  // nullopt. This is the expensive per-page flush: up to 16 charged references.
+  std::optional<HashedPte> InvalidatePage(VirtPage vp, MemCharger& charger);
+
+  // Sets the C (changed) bit on the entry for `vp` (the hardware's deferred store-update).
+  // Returns true if the entry was found. Charges the search plus one store.
+  bool MarkChanged(VirtPage vp, MemCharger& charger);
+
+  // Scans the whole table invalidating entries selected by `pred`; charges one read per slot
+  // (plus one write per invalidation) when `charger` is non-null. Returns entries cleared.
+  uint32_t InvalidateMatching(const std::function<bool(const HashedPte&)>& pred,
+                              MemCharger* charger);
+
+  // Idle-task zombie reclaim (§7): scans up to `max_ptegs` PTEGs from an internal cursor,
+  // physically invalidating valid PTEs whose VSID is dead. Returns zombies cleared.
+  uint32_t ReclaimZombies(uint32_t max_ptegs, const VsidOracle& oracle, MemCharger& charger);
+
+  // Occupancy probes (uncharged; these model the paper's instrumentation, not the hardware).
+  uint32_t ValidCount() const;
+  uint32_t LiveCount(const VsidOracle& oracle) const;
+  // Histogram over PTEGs of valid-entry counts: index 0..8 → number of PTEGs with that many
+  // valid entries. This is the paper's §5.2 "hash table miss histogram" tool.
+  std::array<uint32_t, kPtesPerPteg + 1> OccupancyHistogram() const;
+  double Utilization() const;
+
+  // Direct slot access for tests and the reclaim experiments.
+  const HashedPte& At(uint32_t pteg, uint32_t slot) const;
+
+  void Clear();
+
+ private:
+  using Pteg = std::array<HashedPte, kPtesPerPteg>;
+
+  std::vector<Pteg> ptegs_;
+  PhysAddr base_;
+  uint32_t hash_mask_;
+  uint32_t replace_cursor_ = 0;
+  uint32_t reclaim_cursor_ = 0;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_HASH_TABLE_H_

@@ -1,0 +1,40 @@
+// The PowerPC hashed page table entry.
+//
+// A real PTE is two 32-bit words: { V, VSID, H, API } and { RPN, R, C, WIMG, PP }. We keep a
+// decoded struct (the full 16-bit page index rather than the 6-bit abbreviated page index,
+// so the model never suffers false API matches) and account each slot as one 8-byte memory
+// reference at its architected physical address.
+
+#ifndef PPCMM_SRC_MMU_HASHED_PTE_H_
+#define PPCMM_SRC_MMU_HASHED_PTE_H_
+
+#include <cstdint>
+
+#include "src/mmu/addr.h"
+
+namespace ppcmm {
+
+// One entry of the hashed page table.
+struct HashedPte {
+  bool valid = false;
+  Vsid vsid;
+  uint32_t page_index = 0;      // 16-bit page index within the segment
+  uint32_t rpn = 0;             // 20-bit physical page number
+  bool cache_inhibited = false;  // WIMG I bit
+  bool writable = false;         // PP encoding collapsed to one bit
+  bool referenced = false;       // R
+  bool changed = false;          // C
+
+  VirtPage virt_page() const { return VirtPage{.vsid = vsid, .page_index = page_index}; }
+
+  bool Matches(VirtPage vp) const {
+    return valid && vsid == vp.vsid && page_index == vp.page_index;
+  }
+};
+
+inline constexpr uint32_t kPtesPerPteg = 8;   // bucket size (§3)
+inline constexpr uint32_t kPteBytes = 8;      // two 32-bit words per entry
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_HASHED_PTE_H_

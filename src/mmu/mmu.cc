@@ -1,0 +1,273 @@
+#include "src/mmu/mmu.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+Mmu::Mmu(Machine& machine, const MmuPolicy& policy, PhysAddr htab_base)
+    : machine_(machine),
+      policy_(policy),
+      htab_(machine.config().htab_ptegs, htab_base),
+      itlb_("itlb", machine.config().itlb_entries, machine.config().tlb_associativity),
+      dtlb_("dtlb", machine.config().dtlb_entries, machine.config().tlb_associativity) {}
+
+AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
+  const bool supervisor = ea.IsKernel();
+  HwCounters& counters = machine_.counters();
+
+  // BAT translation runs in parallel with the segment lookup; a BAT hit abandons the
+  // page-table path entirely (§3).
+  const BatArray& bats = IsInstruction(kind) ? ibats_ : dbats_;
+  if (const std::optional<BatHit> hit = bats.Translate(ea, supervisor); hit.has_value()) {
+    ++counters.bat_translations;
+    if (IsInstruction(kind)) {
+      machine_.TouchInstruction(hit->pa, !hit->cache_inhibited);
+    } else {
+      machine_.TouchData(hit->pa, IsWrite(kind), !hit->cache_inhibited);
+    }
+    return AccessOutcome::kOk;
+  }
+
+  const VirtPage vp = segments_.Resolve(ea);
+  Tlb& tlb = IsInstruction(kind) ? itlb_ : dtlb_;
+  if (IsInstruction(kind)) {
+    ++counters.itlb_accesses;
+  } else {
+    ++counters.dtlb_accesses;
+  }
+
+  std::optional<TlbEntry> entry = tlb.Lookup(vp);
+  if (!entry.has_value()) {
+    if (IsInstruction(kind)) {
+      ++counters.itlb_misses;
+    } else {
+      ++counters.dtlb_misses;
+    }
+    machine_.Trace(TraceEvent::kTlbMiss, ea.EffPageNumber(), IsInstruction(kind) ? 1 : 0);
+    const std::optional<PteWalkInfo> info = Reload(ea, vp, kind);
+    if (!info.has_value()) {
+      return AccessOutcome::kPageFault;
+    }
+    entry = tlb.Lookup(vp);
+    PPCMM_CHECK_MSG(entry.has_value(), "reload must leave the translation in the TLB");
+  }
+
+  if (IsWrite(kind) && !entry->writable) {
+    return AccessOutcome::kProtectionFault;
+  }
+
+  // Deferred C-bit maintenance: the first store through a clean translation must record the
+  // change in the HTAB entry and the Linux PTE before the store can proceed (§7's reason to
+  // mark dirty at reload instead).
+  if (IsWrite(kind) && !entry->changed && !policy_.eager_dirty_marking) {
+    ++counters.dirty_bit_updates;
+    machine_.Trace(TraceEvent::kDirtyBitUpdate, ea.EffPageNumber());
+    DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
+    machine_.AddCycles(Cycles(machine_.config().tlb_miss_interrupt_cycles / 2));
+    if (policy_.UsesHtab()) {
+      htab_.MarkChanged(vp, pt_charger);
+    }
+    if (backing_ != nullptr) {
+      backing_->MarkPteDirty(ea, pt_charger);
+    }
+    dtlb_.MarkChanged(vp);  // stores only ever come through the DTLB
+    entry->changed = true;
+  }
+
+  const PhysAddr pa = PhysAddr::FromFrame(entry->frame, ea.PageOffset());
+  if (IsInstruction(kind)) {
+    machine_.TouchInstruction(pa, !entry->cache_inhibited);
+  } else {
+    machine_.TouchData(pa, IsWrite(kind), !entry->cache_inhibited);
+  }
+  return AccessOutcome::kOk;
+}
+
+std::optional<PhysAddr> Mmu::Probe(EffAddr ea, AccessKind kind) const {
+  const bool supervisor = ea.IsKernel();
+  const BatArray& bats = IsInstruction(kind) ? ibats_ : dbats_;
+  if (const std::optional<BatHit> hit = bats.Translate(ea, supervisor); hit.has_value()) {
+    return hit->pa;
+  }
+  const VirtPage vp = segments_.Resolve(ea);
+  // Probe the TLB without touching LRU state by scanning the HTAB and backing instead: the
+  // TLB is a pure cache of those, so consult the HTAB copy first, then the backing source.
+  NullMemCharger null_charger;
+  HashTable& htab = const_cast<HashTable&>(htab_);
+  if (policy_.UsesHtab()) {
+    const HtabSearchResult found = htab.Search(vp, null_charger);
+    if (found.found) {
+      return PhysAddr::FromFrame(found.pte.rpn, ea.PageOffset());
+    }
+  }
+  if (backing_ != nullptr) {
+    const std::optional<PteWalkInfo> info = backing_->WalkPte(ea, null_charger);
+    if (info.has_value()) {
+      return PhysAddr::FromFrame(info->frame, ea.PageOffset());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind) {
+  HwCounters& counters = machine_.counters();
+  const MachineConfig& config = machine_.config();
+  DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
+
+  switch (policy_.strategy) {
+    case ReloadStrategy::kHardwareHtabWalk: {
+      // The 604 walks the HTAB in hardware: fixed walk overhead plus the charged probes.
+      machine_.AddCycles(Cycles(config.hw_walk_base_cycles));
+      ++counters.htab_searches;
+      const HtabSearchResult found = htab_.Search(vp, pt_charger);
+      if (found.found) {
+        ++counters.htab_hits;
+        const PteWalkInfo info{.frame = found.pte.rpn,
+                               .writable = found.pte.writable,
+                               .cache_inhibited = found.pte.cache_inhibited};
+        InstallTlbEntry(ea, vp, info, kind);
+        return info;
+      }
+      ++counters.htab_misses;
+      machine_.Trace(TraceEvent::kHtabMiss, ea.EffPageNumber());
+      // Hash-table miss interrupt into the software handler (§5: at least 91 cycles).
+      machine_.AddCycles(Cycles(config.hash_miss_interrupt_cycles));
+      machine_.AddCycles(Cycles(policy_.HandlerBodyCycles()));
+      std::optional<PteWalkInfo> info = SoftwareRefill(ea, vp, /*insert_into_htab=*/true);
+      if (info.has_value()) {
+        // The faulting access retries and the hardware walk now hits the fresh HTAB entry.
+        machine_.AddCycles(Cycles(config.hw_walk_base_cycles));
+        ++counters.htab_searches;
+        ++counters.htab_hits;
+        const HtabSearchResult refound = htab_.Search(vp, pt_charger);
+        PPCMM_CHECK_MSG(refound.found, "freshly inserted HTAB entry must be found on retry");
+        InstallTlbEntry(ea, vp, *info, kind);
+      }
+      return info;
+    }
+
+    case ReloadStrategy::kSoftwareHtab: {
+      // 603 emulating the 604: software miss handler searches the HTAB.
+      machine_.AddCycles(Cycles(config.tlb_miss_interrupt_cycles));
+      machine_.AddCycles(Cycles(policy_.HandlerBodyCycles()));
+      ++counters.htab_searches;
+      const HtabSearchResult found = htab_.Search(vp, pt_charger);
+      if (found.found) {
+        ++counters.htab_hits;
+        const PteWalkInfo info{.frame = found.pte.rpn,
+                               .writable = found.pte.writable,
+                               .cache_inhibited = found.pte.cache_inhibited};
+        InstallTlbEntry(ea, vp, info, kind);
+        return info;
+      }
+      ++counters.htab_misses;
+      machine_.Trace(TraceEvent::kHtabMiss, ea.EffPageNumber());
+      std::optional<PteWalkInfo> info = SoftwareRefill(ea, vp, /*insert_into_htab=*/true);
+      if (info.has_value()) {
+        InstallTlbEntry(ea, vp, *info, kind);
+      }
+      return info;
+    }
+
+    case ReloadStrategy::kSoftwareDirect: {
+      // §6.2: no HTAB at all — the miss handler goes straight to the Linux PTE tree,
+      // three loads in the worst case.
+      machine_.AddCycles(Cycles(config.tlb_miss_interrupt_cycles));
+      machine_.AddCycles(Cycles(policy_.HandlerBodyCycles()));
+      std::optional<PteWalkInfo> info = SoftwareRefill(ea, vp, /*insert_into_htab=*/false);
+      if (info.has_value()) {
+        InstallTlbEntry(ea, vp, *info, kind);
+      }
+      return info;
+    }
+  }
+  PPCMM_CHECK_MSG(false, "unreachable reload strategy");
+  return std::nullopt;
+}
+
+std::optional<PteWalkInfo> Mmu::SoftwareRefill(EffAddr ea, VirtPage vp, bool insert_into_htab) {
+  HwCounters& counters = machine_.counters();
+  PPCMM_CHECK_MSG(backing_ != nullptr, "MMU has no PTE backing source installed");
+  DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
+
+  ++counters.pte_tree_walks;
+  const std::optional<PteWalkInfo> info = backing_->WalkPte(ea, pt_charger);
+  if (!info.has_value()) {
+    return std::nullopt;  // genuine page fault; the kernel repairs and retries
+  }
+
+  if (insert_into_htab) {
+    const HashedPte pte{.valid = true,
+                        .vsid = vp.vsid,
+                        .page_index = vp.page_index,
+                        .rpn = info->frame,
+                        .cache_inhibited = info->cache_inhibited,
+                        .writable = info->writable,
+                        .referenced = true,
+                        // §7: the optimized kernel marks writable PTEs changed at load time,
+                        // making every later flush a pure invalidate.
+                        .changed = policy_.eager_dirty_marking && info->writable};
+    const VsidOracle& oracle = oracle_ != nullptr ? *oracle_ : all_live_;
+    const HtabInsertOutcome outcome = htab_.Insert(pte, oracle, pt_charger);
+    ++counters.htab_reloads;
+    switch (outcome) {
+      case HtabInsertOutcome::kFreeSlot:
+        break;
+      case HtabInsertOutcome::kReplacedZombie:
+        ++counters.htab_zombie_overwrites;
+        break;
+      case HtabInsertOutcome::kReplacedLive:
+        ++counters.htab_evicts;
+        break;
+    }
+  }
+  return info;
+}
+
+void Mmu::InstallTlbEntry(EffAddr ea, VirtPage vp, const PteWalkInfo& info, AccessKind kind) {
+  const TlbEntry entry{.valid = true,
+                       .vsid = vp.vsid,
+                       .page_index = vp.page_index,
+                       .frame = info.frame,
+                       .cache_inhibited = info.cache_inhibited,
+                       .writable = info.writable,
+                       .changed = policy_.eager_dirty_marking && info.writable,
+                       .is_kernel = ea.IsKernel(),
+                       .last_used = 0};
+  // Instruction fetches reload the ITLB, loads/stores the DTLB.
+  if (IsInstruction(kind)) {
+    itlb_.Insert(entry);
+  } else {
+    dtlb_.Insert(entry);
+  }
+  UpdateKernelHighwater();
+}
+
+void Mmu::UpdateKernelHighwater() {
+  HwCounters& counters = machine_.counters();
+  const uint64_t now =
+      static_cast<uint64_t>(itlb_.KernelEntryCount()) + dtlb_.KernelEntryCount();
+  counters.kernel_tlb_highwater = std::max(counters.kernel_tlb_highwater, now);
+}
+
+void Mmu::TlbInvalidatePage(EffAddr ea) {
+  ++machine_.counters().tlb_page_flushes;
+  // tlbie plus the serializing tlbsync/sync pair — a fixed pipeline cost on 603/604.
+  machine_.AddCycles(Cycles(32));
+  itlb_.InvalidatePage(ea.PageIndex());
+  dtlb_.InvalidatePage(ea.PageIndex());
+}
+
+void Mmu::TlbInvalidateAll() {
+  itlb_.InvalidateAll();
+  dtlb_.InvalidateAll();
+}
+
+uint32_t Mmu::TlbInvalidateVsid(Vsid vsid) {
+  const auto pred = [vsid](const TlbEntry& e) { return e.vsid == vsid; };
+  return itlb_.InvalidateMatching(pred) + dtlb_.InvalidateMatching(pred);
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,170 @@
+// The MMU translation engine.
+//
+// Models the full 32-bit PowerPC reference path of Figure 1 and the reload mechanisms of
+// §3/§5/§6:
+//
+//   effective address ──BAT match?──▶ physical (no TLB, no HTAB)
+//        │ no
+//   segment registers ──▶ (VSID, page index) ──TLB hit?──▶ physical
+//        │ miss
+//   reload, by strategy:
+//     kHardwareHtabWalk  (604)  hardware searches the HTAB (~120 cycles, ≤16 refs); a HTAB
+//                               miss raises a ≥91-cycle interrupt into the software path
+//     kSoftwareHtab      (603)  32-cycle TLB-miss interrupt; software searches the HTAB,
+//                               emulating the 604 (the early Linux/PPC approach, §6.2)
+//     kSoftwareDirect    (603)  32-cycle interrupt; software walks the Linux PTE tree
+//                               directly, no HTAB at all ("improving hash tables away")
+//
+// All HTAB and PTE-tree references are charged through the data cache — or around it when
+// the policy says page tables are cache-inhibited (§8).
+
+#ifndef PPCMM_SRC_MMU_MMU_H_
+#define PPCMM_SRC_MMU_MMU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/mmu/addr.h"
+#include "src/mmu/bat.h"
+#include "src/mmu/hash_table.h"
+#include "src/mmu/mem_charge.h"
+#include "src/mmu/segment_regs.h"
+#include "src/mmu/tlb.h"
+#include "src/mmu/vsid_oracle.h"
+#include "src/sim/machine.h"
+
+namespace ppcmm {
+
+// How TLB misses are refilled (see file comment).
+enum class ReloadStrategy {
+  kHardwareHtabWalk,
+  kSoftwareHtab,
+  kSoftwareDirect,
+};
+
+// MMU-level policy knobs, derived from the paper's optimizations.
+struct MmuPolicy {
+  ReloadStrategy strategy = ReloadStrategy::kHardwareHtabWalk;
+  // §6.1: hand-optimized assembly miss handlers vs. the original save-state-and-call-C path.
+  bool optimized_handlers = false;
+  // §8: whether page-table (HTAB + PTE tree) references go through the data cache.
+  bool cache_page_tables = true;
+  // §7: mark the PTE changed (dirty) when it is loaded, so a later flush is a pure
+  // invalidate. When false, the classic deferred scheme runs: the first store through a
+  // clean translation traps to update the C bit in the HTAB and the Linux PTE.
+  bool eager_dirty_marking = false;
+  // Handler body costs in cycles, beyond the architectural interrupt overhead.
+  uint32_t unoptimized_handler_cycles = 150;
+  uint32_t optimized_handler_cycles = 10;
+
+  uint32_t HandlerBodyCycles() const {
+    return optimized_handlers ? optimized_handler_cycles : unoptimized_handler_cycles;
+  }
+
+  bool UsesHtab() const { return strategy != ReloadStrategy::kSoftwareDirect; }
+};
+
+// What a PTE-tree walk found.
+struct PteWalkInfo {
+  uint32_t frame = 0;
+  bool writable = false;
+  bool cache_inhibited = false;
+};
+
+// The kernel-side source of translations: walks the current context's Linux two-level PTE
+// tree, charging its loads through the given charger.
+class PteBackingSource {
+ public:
+  virtual ~PteBackingSource() = default;
+  virtual std::optional<PteWalkInfo> WalkPte(EffAddr ea, MemCharger& charger) = 0;
+  // Propagates a changed (dirty) bit into the Linux PTE for `ea` (deferred C-bit update and
+  // flush-time write-back both land here).
+  virtual void MarkPteDirty(EffAddr ea, MemCharger& charger) = 0;
+};
+
+// Outcome of one memory reference.
+enum class AccessOutcome {
+  kOk,
+  kPageFault,        // no translation exists in the PTE tree
+  kProtectionFault,  // store to a read-only mapping (e.g. copy-on-write)
+};
+
+// A MemCharger that routes references through (or around) the machine's data cache.
+class DataMemCharger : public MemCharger {
+ public:
+  DataMemCharger(Machine& machine, bool cached) : machine_(machine), cached_(cached) {}
+  void Charge(PhysAddr pa, bool is_write) override { machine_.TouchData(pa, is_write, cached_); }
+
+ private:
+  Machine& machine_;
+  bool cached_;
+};
+
+// The MMU proper.
+class Mmu {
+ public:
+  // The HTAB is placed at `htab_base` in physical memory with the configured PTEG count.
+  Mmu(Machine& machine, const MmuPolicy& policy, PhysAddr htab_base);
+
+  Mmu(const Mmu&) = delete;
+  Mmu& operator=(const Mmu&) = delete;
+
+  // Wiring: the kernel installs its PTE-tree walker and VSID liveness oracle.
+  void SetBacking(PteBackingSource* backing) { backing_ = backing; }
+  void SetVsidOracle(const VsidOracle* oracle) { oracle_ = oracle; }
+
+  // Performs one full memory reference: translation (charging all reload costs) followed by
+  // the cache access to the translated address. On a fault nothing is installed; the caller
+  // (kernel fault path) repairs the PTE tree and retries.
+  AccessOutcome Access(EffAddr ea, AccessKind kind);
+
+  // Translation without the final payload cache access (probe used by tests/instrumentation;
+  // charges nothing and changes nothing).
+  std::optional<PhysAddr> Probe(EffAddr ea, AccessKind kind) const;
+
+  // TLB maintenance used by the kernel's flush strategies.
+  void TlbInvalidatePage(EffAddr ea);            // tlbie: by page index in both TLBs
+  void TlbInvalidateAll();                       // tlbia
+  uint32_t TlbInvalidateVsid(Vsid vsid);         // simulation convenience (eager full flush)
+
+  // Component access.
+  SegmentRegs& segments() { return segments_; }
+  BatArray& ibats() { return ibats_; }
+  BatArray& dbats() { return dbats_; }
+  HashTable& htab() { return htab_; }
+  const HashTable& htab() const { return htab_; }
+  Tlb& itlb() { return itlb_; }
+  Tlb& dtlb() { return dtlb_; }
+  const MmuPolicy& policy() const { return policy_; }
+  Machine& machine() { return machine_; }
+
+  // Builds a charger that follows the page-table caching policy (used by the kernel when it
+  // searches/updates the HTAB outside the reload path, e.g. flushes and idle reclaim).
+  DataMemCharger PageTableCharger() {
+    return DataMemCharger(machine_, policy_.cache_page_tables);
+  }
+
+ private:
+  // Refills the TLB after a miss. Returns the walk result or nullopt on page fault.
+  std::optional<PteWalkInfo> Reload(EffAddr ea, VirtPage vp, AccessKind kind);
+  // Software path shared by every strategy once the HTAB (if any) has missed.
+  std::optional<PteWalkInfo> SoftwareRefill(EffAddr ea, VirtPage vp, bool insert_into_htab);
+  void InstallTlbEntry(EffAddr ea, VirtPage vp, const PteWalkInfo& info, AccessKind kind);
+  void UpdateKernelHighwater();
+
+  Machine& machine_;
+  MmuPolicy policy_;
+  SegmentRegs segments_;
+  BatArray ibats_;
+  BatArray dbats_;
+  HashTable htab_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  PteBackingSource* backing_ = nullptr;
+  const VsidOracle* oracle_ = nullptr;
+  AllLiveVsidOracle all_live_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_MMU_H_

@@ -1,0 +1,126 @@
+#include "src/mmu/tlb.h"
+
+#include <utility>
+
+namespace ppcmm {
+
+namespace {
+
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Tlb::Tlb(std::string name, uint32_t entries, uint32_t associativity)
+    : name_(std::move(name)), associativity_(associativity) {
+  PPCMM_CHECK(associativity > 0);
+  PPCMM_CHECK_MSG(entries % associativity == 0, "TLB entries must divide evenly into ways");
+  num_sets_ = entries / associativity;
+  PPCMM_CHECK_MSG(IsPowerOfTwo(num_sets_), "TLB set count must be a power of two");
+  ways_.resize(entries);
+}
+
+std::optional<TlbEntry> Tlb::Lookup(VirtPage vp) {
+  ++tick_;
+  TlbEntry* ways = SetBase(SetIndex(vp.page_index));
+  for (uint32_t w = 0; w < associativity_; ++w) {
+    TlbEntry& entry = ways[w];
+    if (entry.valid && entry.vsid == vp.vsid && entry.page_index == vp.page_index) {
+      entry.last_used = tick_;
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+void Tlb::Insert(const TlbEntry& entry) {
+  ++tick_;
+  TlbEntry* ways = SetBase(SetIndex(entry.page_index));
+  TlbEntry* victim = &ways[0];
+  for (uint32_t w = 0; w < associativity_; ++w) {
+    TlbEntry& candidate = ways[w];
+    // Reuse the way already holding this virtual page, else prefer an invalid way.
+    if (candidate.valid && candidate.vsid == entry.vsid &&
+        candidate.page_index == entry.page_index) {
+      victim = &candidate;
+      break;
+    }
+    if (!candidate.valid) {
+      victim = &candidate;
+      break;
+    }
+    if (candidate.last_used < victim->last_used) {
+      victim = &candidate;
+    }
+  }
+  if (victim->valid && victim->is_kernel) {
+    --kernel_entries_;
+  }
+  *victim = entry;
+  victim->valid = true;
+  victim->last_used = tick_;
+  if (victim->is_kernel) {
+    ++kernel_entries_;
+  }
+}
+
+uint32_t Tlb::InvalidatePage(uint32_t page_index) {
+  uint32_t cleared = 0;
+  TlbEntry* ways = SetBase(SetIndex(page_index));
+  for (uint32_t w = 0; w < associativity_; ++w) {
+    TlbEntry& entry = ways[w];
+    if (entry.valid && entry.page_index == page_index) {
+      if (entry.is_kernel) {
+        --kernel_entries_;
+      }
+      entry.valid = false;
+      ++cleared;
+    }
+  }
+  return cleared;
+}
+
+void Tlb::MarkChanged(VirtPage vp) {
+  TlbEntry* ways = SetBase(SetIndex(vp.page_index));
+  for (uint32_t w = 0; w < associativity_; ++w) {
+    TlbEntry& entry = ways[w];
+    if (entry.valid && entry.vsid == vp.vsid && entry.page_index == vp.page_index) {
+      entry.changed = true;
+      return;
+    }
+  }
+}
+
+void Tlb::InvalidateAll() {
+  for (TlbEntry& entry : ways_) {
+    entry.valid = false;
+  }
+  kernel_entries_ = 0;
+}
+
+uint32_t Tlb::InvalidateMatching(const std::function<bool(const TlbEntry&)>& pred) {
+  uint32_t cleared = 0;
+  for (TlbEntry& entry : ways_) {
+    if (entry.valid && pred(entry)) {
+      if (entry.is_kernel) {
+        --kernel_entries_;
+      }
+      entry.valid = false;
+      ++cleared;
+    }
+  }
+  return cleared;
+}
+
+uint32_t Tlb::ValidCount() const {
+  uint32_t count = 0;
+  for (const TlbEntry& entry : ways_) {
+    if (entry.valid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t Tlb::KernelEntryCount() const { return kernel_entries_; }
+
+}  // namespace ppcmm

@@ -1,0 +1,87 @@
+// The translation look-aside buffer.
+//
+// Modelled after the 603/604 split TLBs: 2-way set associative, indexed by the low bits of
+// the effective page index, with entries tagged by the full (VSID, page index) virtual page.
+// Tagging by VSID is what makes the paper's lazy flush sound: after a context's VSIDs are
+// retired, its stale TLB entries can never match a live translation.
+//
+// Each entry also records whether it maps a kernel page, so the simulator can reproduce the
+// paper's "percentage of TLB slots occupied by the kernel" measurement (§5.1).
+
+#ifndef PPCMM_SRC_MMU_TLB_H_
+#define PPCMM_SRC_MMU_TLB_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mmu/addr.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+// One cached translation.
+struct TlbEntry {
+  bool valid = false;
+  Vsid vsid;
+  uint32_t page_index = 0;  // 16-bit page index within the segment
+  uint32_t frame = 0;       // 20-bit physical page number
+  bool cache_inhibited = false;
+  bool writable = false;
+  bool changed = false;     // the C bit: a store has been performed through this entry
+  bool is_kernel = false;   // maps a kernel-segment page (footprint instrumentation)
+  uint64_t last_used = 0;
+};
+
+// One TLB (instruction or data side).
+class Tlb {
+ public:
+  // `entries` must be a multiple of `associativity`; sets = entries / associativity must be
+  // a power of two.
+  Tlb(std::string name, uint32_t entries, uint32_t associativity);
+
+  // Looks up a translation; refreshes LRU state on hit.
+  std::optional<TlbEntry> Lookup(VirtPage vp);
+
+  // Installs a translation, replacing an invalid way or the LRU way of the set.
+  void Insert(const TlbEntry& entry);
+
+  // tlbie-style invalidation: clears every entry in the set indexed by `page_index` whose
+  // page index matches, regardless of VSID (the hardware cannot compare VSIDs on tlbie).
+  uint32_t InvalidatePage(uint32_t page_index);
+
+  // Invalidates every entry (tlbia / full flush).
+  void InvalidateAll();
+
+  // Sets the C (changed) bit on the entry for `vp`, if present.
+  void MarkChanged(VirtPage vp);
+
+  // Invalidates entries selected by `pred`; returns the count (simulation convenience).
+  uint32_t InvalidateMatching(const std::function<bool(const TlbEntry&)>& pred);
+
+  uint32_t ValidCount() const;
+  uint32_t KernelEntryCount() const;
+  uint32_t entries() const { return static_cast<uint32_t>(ways_.size()); }
+  uint32_t num_sets() const { return num_sets_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  uint32_t SetIndex(uint32_t page_index) const { return page_index & (num_sets_ - 1); }
+  TlbEntry* SetBase(uint32_t set) { return &ways_[static_cast<size_t>(set) * associativity_]; }
+  const TlbEntry* SetBase(uint32_t set) const {
+    return &ways_[static_cast<size_t>(set) * associativity_];
+  }
+
+  std::string name_;
+  uint32_t associativity_;
+  uint32_t num_sets_;
+  std::vector<TlbEntry> ways_;  // sets * ways, row-major by set
+  uint64_t tick_ = 0;
+  uint32_t kernel_entries_ = 0;  // incremental count of valid kernel entries
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_TLB_H_

@@ -1,0 +1,32 @@
+// Liveness oracle for VSIDs.
+//
+// With lazy TLB flushing (§7 of the paper) a flushed context's PTEs stay in the hashed page
+// table with their valid bits set — "zombies". They can never translate anything (their VSID
+// is no longer loaded in any segment register), but they occupy slots. The kernel knows which
+// VSIDs are live; the MMU layer consults this oracle to classify replacements (evict of a
+// live PTE vs. harmless overwrite of a zombie) and to drive the idle-task reclaim scan.
+
+#ifndef PPCMM_SRC_MMU_VSID_ORACLE_H_
+#define PPCMM_SRC_MMU_VSID_ORACLE_H_
+
+#include "src/mmu/addr.h"
+
+namespace ppcmm {
+
+// Answers "does any live context currently own this VSID?".
+class VsidOracle {
+ public:
+  virtual ~VsidOracle() = default;
+  virtual bool IsLive(Vsid vsid) const = 0;
+};
+
+// Oracle that treats every VSID as live — the behaviour of a kernel without lazy flushing,
+// where no zombies can exist.
+class AllLiveVsidOracle : public VsidOracle {
+ public:
+  bool IsLive(Vsid) const override { return true; }
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_MMU_VSID_ORACLE_H_

@@ -1,0 +1,66 @@
+// The Linux-side PTE: the entries of the machine-independent two-level page table tree.
+//
+// The paper is explicit that Linux's x86-shaped PGD/PTE tree remains the authoritative
+// source of translations on PPC — the hashed page table is merely "a cache for the two
+// level page table tree" (§8). Entries are encoded into 32-bit words stored in simulated
+// physical memory so that every walk is a real, cache-charged load.
+
+#ifndef PPCMM_SRC_PAGETABLE_LINUX_PTE_H_
+#define PPCMM_SRC_PAGETABLE_LINUX_PTE_H_
+
+#include <cstdint>
+
+namespace ppcmm {
+
+// Decoded leaf entry of the two-level tree.
+struct LinuxPte {
+  bool present = false;
+  bool writable = false;
+  bool user = false;
+  bool accessed = false;
+  bool dirty = false;
+  bool cache_inhibited = false;
+  bool cow = false;  // write-protected only because the frame is shared post-fork
+  uint32_t frame = 0;  // 20-bit physical page number
+
+  static constexpr uint32_t kPresentBit = 1u << 0;
+  static constexpr uint32_t kWritableBit = 1u << 1;
+  static constexpr uint32_t kUserBit = 1u << 2;
+  static constexpr uint32_t kAccessedBit = 1u << 3;
+  static constexpr uint32_t kDirtyBit = 1u << 4;
+  static constexpr uint32_t kCacheInhibitedBit = 1u << 5;
+  static constexpr uint32_t kCowBit = 1u << 6;
+
+  uint32_t Encode() const {
+    uint32_t word = frame << 12;
+    if (present) word |= kPresentBit;
+    if (writable) word |= kWritableBit;
+    if (user) word |= kUserBit;
+    if (accessed) word |= kAccessedBit;
+    if (dirty) word |= kDirtyBit;
+    if (cache_inhibited) word |= kCacheInhibitedBit;
+    if (cow) word |= kCowBit;
+    return word;
+  }
+
+  static LinuxPte Decode(uint32_t word) {
+    LinuxPte pte;
+    pte.present = (word & kPresentBit) != 0;
+    pte.writable = (word & kWritableBit) != 0;
+    pte.user = (word & kUserBit) != 0;
+    pte.accessed = (word & kAccessedBit) != 0;
+    pte.dirty = (word & kDirtyBit) != 0;
+    pte.cache_inhibited = (word & kCacheInhibitedBit) != 0;
+    pte.cow = (word & kCowBit) != 0;
+    pte.frame = word >> 12;
+    return pte;
+  }
+
+  friend bool operator==(const LinuxPte& a, const LinuxPte& b) {
+    return a.Encode() == b.Encode();
+  }
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_PAGETABLE_LINUX_PTE_H_

@@ -1,0 +1,50 @@
+#include "src/pagetable/page_allocator.h"
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+PageAllocator::PageAllocator(uint32_t first_frame, uint32_t num_frames)
+    : first_frame_(first_frame), num_frames_(num_frames), refcount_(num_frames, 0) {
+  PPCMM_CHECK(num_frames > 0);
+  free_list_.reserve(num_frames);
+  // Push in reverse so the lowest frames are handed out first.
+  for (uint32_t i = 0; i < num_frames; ++i) {
+    free_list_.push_back(first_frame + num_frames - 1 - i);
+  }
+}
+
+std::optional<uint32_t> PageAllocator::Alloc() {
+  if (free_list_.empty()) {
+    return std::nullopt;
+  }
+  const uint32_t frame = free_list_.back();
+  free_list_.pop_back();
+  PPCMM_CHECK_MSG(refcount_[frame - first_frame_] == 0, "frame on free list had references");
+  refcount_[frame - first_frame_] = 1;
+  return frame;
+}
+
+void PageAllocator::AddRef(uint32_t frame) {
+  PPCMM_CHECK_MSG(InRange(frame), "AddRef on out-of-range frame " << frame);
+  PPCMM_CHECK_MSG(refcount_[frame - first_frame_] > 0, "AddRef on unallocated frame " << frame);
+  ++refcount_[frame - first_frame_];
+}
+
+bool PageAllocator::DecRef(uint32_t frame) {
+  PPCMM_CHECK_MSG(InRange(frame), "DecRef on out-of-range frame " << frame);
+  uint32_t& count = refcount_[frame - first_frame_];
+  PPCMM_CHECK_MSG(count > 0, "DecRef on unallocated frame " << frame << " (double free?)");
+  if (--count == 0) {
+    free_list_.push_back(frame);
+    return true;
+  }
+  return false;
+}
+
+uint32_t PageAllocator::RefCount(uint32_t frame) const {
+  PPCMM_CHECK_MSG(InRange(frame), "RefCount on out-of-range frame " << frame);
+  return refcount_[frame - first_frame_];
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,53 @@
+// Physical page-frame allocator.
+//
+// Manages the frames above the kernel's static footprint with a LIFO free list and per-frame
+// reference counts (needed for copy-on-write sharing after fork). Zero-filling policy — the
+// subject of §9 of the paper — deliberately does NOT live here: get_free_page() semantics,
+// including the idle task's pre-zeroed list, are kernel policy (src/kernel/mem_manager).
+
+#ifndef PPCMM_SRC_PAGETABLE_PAGE_ALLOCATOR_H_
+#define PPCMM_SRC_PAGETABLE_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ppcmm {
+
+// Allocates physical page frames in [first_frame, first_frame + num_frames).
+class PageAllocator {
+ public:
+  PageAllocator(uint32_t first_frame, uint32_t num_frames);
+
+  // Allocates one frame with refcount 1, or nullopt when memory is exhausted.
+  std::optional<uint32_t> Alloc();
+
+  // Adds a reference to an allocated frame (copy-on-write sharing).
+  void AddRef(uint32_t frame);
+
+  // Drops one reference; frees the frame when the count reaches zero. Returns true if the
+  // frame was freed by this call.
+  bool DecRef(uint32_t frame);
+
+  uint32_t RefCount(uint32_t frame) const;
+  bool IsAllocated(uint32_t frame) const { return RefCount(frame) > 0; }
+
+  uint32_t FreeCount() const { return static_cast<uint32_t>(free_list_.size()); }
+  uint32_t TotalCount() const { return num_frames_; }
+  uint32_t AllocatedCount() const { return num_frames_ - FreeCount(); }
+  uint32_t first_frame() const { return first_frame_; }
+
+ private:
+  bool InRange(uint32_t frame) const {
+    return frame >= first_frame_ && frame < first_frame_ + num_frames_;
+  }
+
+  uint32_t first_frame_;
+  uint32_t num_frames_;
+  std::vector<uint32_t> free_list_;  // LIFO: reuse hot frames first
+  std::vector<uint32_t> refcount_;   // indexed by frame - first_frame
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_PAGETABLE_PAGE_ALLOCATOR_H_

@@ -1,0 +1,130 @@
+#include "src/pagetable/page_table.h"
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+// PGD entries: PTE-page frame in the high 20 bits, present in bit 0.
+constexpr uint32_t kPgdPresentBit = 1u << 0;
+
+}  // namespace
+
+PageTable::PageTable(PageAllocator& allocator, PhysicalMemory& memory)
+    : allocator_(allocator), memory_(memory) {
+  const std::optional<uint32_t> frame = allocator_.Alloc();
+  PPCMM_CHECK_MSG(frame.has_value(), "out of memory allocating a PGD frame");
+  pgd_frame_ = *frame;
+  memory_.ZeroFrame(pgd_frame_);
+}
+
+PageTable::~PageTable() {
+  for (uint32_t i = 0; i < kPgdEntries; ++i) {
+    const std::optional<uint32_t> pte_frame = PtePageFrame(i);
+    if (pte_frame.has_value()) {
+      allocator_.DecRef(*pte_frame);
+    }
+  }
+  allocator_.DecRef(pgd_frame_);
+}
+
+std::optional<uint32_t> PageTable::PtePageFrame(uint32_t pgd_index) const {
+  const uint32_t word = memory_.Read32(PgdEntryAddr(pgd_index));
+  if ((word & kPgdPresentBit) == 0) {
+    return std::nullopt;
+  }
+  return word >> 12;
+}
+
+std::optional<LinuxPte> PageTable::Lookup(EffAddr ea, MemCharger& charger) const {
+  charger.Charge(PgdEntryAddr(PgdIndex(ea)), /*is_write=*/false);
+  const std::optional<uint32_t> pte_frame = PtePageFrame(PgdIndex(ea));
+  if (!pte_frame.has_value()) {
+    return std::nullopt;
+  }
+  const PhysAddr slot = PteEntryAddr(*pte_frame, PteIndex(ea));
+  charger.Charge(slot, /*is_write=*/false);
+  return LinuxPte::Decode(memory_.Read32(slot));
+}
+
+std::optional<LinuxPte> PageTable::LookupQuiet(EffAddr ea) const {
+  NullMemCharger null_charger;
+  return Lookup(ea, null_charger);
+}
+
+void PageTable::Map(EffAddr ea, const LinuxPte& pte, MemCharger* charger) {
+  PPCMM_CHECK_MSG(pte.present, "Map requires a present PTE; use Unmap to clear");
+  std::optional<uint32_t> pte_frame = PtePageFrame(PgdIndex(ea));
+  if (!pte_frame.has_value()) {
+    const std::optional<uint32_t> fresh = allocator_.Alloc();
+    PPCMM_CHECK_MSG(fresh.has_value(), "out of memory allocating a PTE page");
+    memory_.ZeroFrame(*fresh);
+    memory_.Write32(PgdEntryAddr(PgdIndex(ea)), (*fresh << 12) | kPgdPresentBit);
+    if (charger != nullptr) {
+      charger->Charge(PgdEntryAddr(PgdIndex(ea)), /*is_write=*/true);
+    }
+    pte_frame = fresh;
+  }
+  const PhysAddr slot = PteEntryAddr(*pte_frame, PteIndex(ea));
+  const LinuxPte old = LinuxPte::Decode(memory_.Read32(slot));
+  if (!old.present) {
+    ++present_count_;
+  }
+  memory_.Write32(slot, pte.Encode());
+  if (charger != nullptr) {
+    charger->Charge(slot, /*is_write=*/true);
+  }
+}
+
+std::optional<LinuxPte> PageTable::Unmap(EffAddr ea, MemCharger* charger) {
+  const std::optional<uint32_t> pte_frame = PtePageFrame(PgdIndex(ea));
+  if (!pte_frame.has_value()) {
+    return std::nullopt;
+  }
+  const PhysAddr slot = PteEntryAddr(*pte_frame, PteIndex(ea));
+  const LinuxPte old = LinuxPte::Decode(memory_.Read32(slot));
+  if (!old.present) {
+    return std::nullopt;
+  }
+  memory_.Write32(slot, 0);
+  if (charger != nullptr) {
+    charger->Charge(slot, /*is_write=*/true);
+  }
+  --present_count_;
+  return old;
+}
+
+void PageTable::Update(EffAddr ea, const std::function<void(LinuxPte&)>& update,
+                       MemCharger* charger) {
+  const std::optional<uint32_t> pte_frame = PtePageFrame(PgdIndex(ea));
+  PPCMM_CHECK_MSG(pte_frame.has_value(), "Update on unmapped region 0x" << std::hex << ea.value);
+  const PhysAddr slot = PteEntryAddr(*pte_frame, PteIndex(ea));
+  LinuxPte pte = LinuxPte::Decode(memory_.Read32(slot));
+  PPCMM_CHECK_MSG(pte.present, "Update on non-present PTE at 0x" << std::hex << ea.value);
+  update(pte);
+  PPCMM_CHECK_MSG(pte.present, "Update must not clear the present bit; use Unmap");
+  memory_.Write32(slot, pte.Encode());
+  if (charger != nullptr) {
+    charger->Charge(slot, /*is_write=*/true);
+  }
+}
+
+void PageTable::ForEachPresent(const std::function<void(EffAddr, const LinuxPte&)>& fn) const {
+  for (uint32_t g = 0; g < kPgdEntries; ++g) {
+    const std::optional<uint32_t> pte_frame = PtePageFrame(g);
+    if (!pte_frame.has_value()) {
+      continue;
+    }
+    for (uint32_t i = 0; i < kPteEntriesPerPage; ++i) {
+      const LinuxPte pte = LinuxPte::Decode(memory_.Read32(PteEntryAddr(*pte_frame, i)));
+      if (pte.present) {
+        fn(EffAddr((g << kPgdShift) | (i << kPageShift)), pte);
+      }
+    }
+  }
+}
+
+uint32_t PageTable::PresentCount() const { return present_count_; }
+
+}  // namespace ppcmm

@@ -1,0 +1,55 @@
+// Lightweight invariant-checking macros for the simulator.
+//
+// PPCMM_CHECK fires on programming errors (bad arguments, violated internal invariants) by
+// throwing ppcmm::CheckFailure. Throwing instead of aborting keeps the library usable from
+// tests (EXPECT_THROW) and long-running harnesses that want to surface the message.
+
+#ifndef PPCMM_SRC_SIM_CHECK_H_
+#define PPCMM_SRC_SIM_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppcmm {
+
+// Thrown when a PPCMM_CHECK condition fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file, int line,
+                                     const std::string& extra) {
+  std::ostringstream oss;
+  oss << "PPCMM_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!extra.empty()) {
+    oss << " — " << extra;
+  }
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace internal
+
+}  // namespace ppcmm
+
+#define PPCMM_CHECK(cond)                                             \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ppcmm::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                 \
+  } while (false)
+
+#define PPCMM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ppcmm_check_oss;                                   \
+      ppcmm_check_oss << msg;                                               \
+      ::ppcmm::internal::CheckFailed(#cond, __FILE__, __LINE__,             \
+                                     ppcmm_check_oss.str());                \
+    }                                                                       \
+  } while (false)
+
+#endif  // PPCMM_SRC_SIM_CHECK_H_

@@ -1,0 +1,55 @@
+// Strong types for simulated time.
+//
+// All costs inside the simulator are expressed in CPU cycles; conversion to wall-clock time
+// happens only at reporting time, through the machine's clock rate. Keeping Cycles a distinct
+// type prevents the classic unit bug of mixing cycle counts with byte counts or entry counts.
+
+#ifndef PPCMM_SRC_SIM_CYCLE_TYPES_H_
+#define PPCMM_SRC_SIM_CYCLE_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace ppcmm {
+
+// A count of CPU clock cycles.
+struct Cycles {
+  uint64_t value = 0;
+
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const Cycles&) const = default;
+
+  constexpr Cycles& operator+=(Cycles other) {
+    value += other.value;
+    return *this;
+  }
+  constexpr Cycles& operator-=(Cycles other) {
+    value -= other.value;
+    return *this;
+  }
+  friend constexpr Cycles operator+(Cycles a, Cycles b) { return Cycles(a.value + b.value); }
+  friend constexpr Cycles operator-(Cycles a, Cycles b) { return Cycles(a.value - b.value); }
+  friend constexpr Cycles operator*(Cycles a, uint64_t k) { return Cycles(a.value * k); }
+  friend constexpr Cycles operator*(uint64_t k, Cycles a) { return Cycles(a.value * k); }
+};
+
+// Converts a cycle count at a given clock rate to microseconds.
+constexpr double CyclesToMicros(Cycles c, uint32_t clock_mhz) {
+  return static_cast<double>(c.value) / static_cast<double>(clock_mhz);
+}
+
+// Converts a cycle count at a given clock rate to seconds.
+constexpr double CyclesToSeconds(Cycles c, uint32_t clock_mhz) {
+  return CyclesToMicros(c, clock_mhz) / 1e6;
+}
+
+// Converts microseconds at a given clock rate back to cycles (rounding down).
+constexpr Cycles MicrosToCycles(double micros, uint32_t clock_mhz) {
+  return Cycles(static_cast<uint64_t>(micros * static_cast<double>(clock_mhz)));
+}
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_SIM_CYCLE_TYPES_H_

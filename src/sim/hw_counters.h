@@ -1,0 +1,76 @@
+// Hardware-monitor-style event counters.
+//
+// Plays the role of the PPC 604 hardware performance monitor (and the 603 software counters)
+// the paper used to "count every TLB and cache miss" (§4). Every layer of the simulator
+// increments these; benchmarks snapshot and diff them around measured regions.
+
+#ifndef PPCMM_SRC_SIM_HW_COUNTERS_H_
+#define PPCMM_SRC_SIM_HW_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/cycle_types.h"
+
+namespace ppcmm {
+
+// One monotonically increasing set of event counts. All fields count events since
+// construction (or the last explicit reset); use Diff() for interval measurements.
+struct HwCounters {
+  // Time.
+  uint64_t cycles = 0;
+
+  // TLB behaviour.
+  uint64_t itlb_accesses = 0;
+  uint64_t itlb_misses = 0;
+  uint64_t dtlb_accesses = 0;
+  uint64_t dtlb_misses = 0;
+  uint64_t bat_translations = 0;  // accesses satisfied by a BAT register (no TLB use)
+
+  // Hashed page table behaviour.
+  uint64_t htab_searches = 0;          // TLB-miss-time searches (hardware or software)
+  uint64_t htab_hits = 0;              // searches that found the PTE
+  uint64_t htab_misses = 0;            // searches that fell through to the PTE tree
+  uint64_t htab_reloads = 0;           // PTEs inserted into the HTAB
+  uint64_t htab_evicts = 0;            // inserts that displaced a valid (live-VSID) PTE
+  uint64_t htab_zombie_overwrites = 0; // inserts that displaced a zombie (dead-VSID) PTE
+  uint64_t htab_flush_memory_refs = 0; // memory references spent searching during flushes
+  uint64_t zombies_reclaimed = 0;      // zombie PTEs invalidated by the idle task
+
+  // Page-fault path.
+  uint64_t page_faults = 0;        // Linux-level faults (PTE absent in the tree)
+  uint64_t pte_tree_walks = 0;     // software walks of the two-level tree
+  uint64_t dirty_bit_updates = 0;  // deferred C-bit traps (first store to a clean page)
+
+  // Flushing.
+  uint64_t tlb_page_flushes = 0;     // per-page invalidations (tlbie-style)
+  uint64_t tlb_context_flushes = 0;  // whole-context (VSID reassignment) flushes
+
+  // Kernel activity.
+  uint64_t syscalls = 0;
+  uint64_t context_switches = 0;
+  uint64_t pages_zeroed_on_demand = 0;  // zeroed inside get_free_page()
+  uint64_t pages_zeroed_in_idle = 0;    // zeroed by the idle task
+  uint64_t prezeroed_page_hits = 0;     // get_free_page() served from the zeroed list
+  uint64_t idle_invocations = 0;
+
+  // Gauges (not diffable event counts, but carried here for reporting convenience).
+  uint64_t kernel_tlb_highwater = 0;  // max TLB entries simultaneously holding kernel PTEs
+
+  // Returns counters for the interval since `earlier` (gauges keep the later value).
+  HwCounters Diff(const HwCounters& earlier) const;
+
+  // Derived rates.
+  double DtlbMissRate() const;
+  double HtabHitRate() const;
+  // Paper's §7 "ratio of evicts to TLB reloads": reloads that had to replace a valid-marked
+  // entry — live or zombie, since the reload code cannot tell them apart.
+  double EvictToReloadRatio() const;
+
+  // Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_SIM_HW_COUNTERS_H_

@@ -1,0 +1,53 @@
+#include "src/sim/machine.h"
+
+namespace ppcmm {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.ram_bytes),
+      icache_("icache", config.icache, config.memory),
+      dcache_("dcache", config.dcache, config.memory) {
+  if (config.has_l2) {
+    l2_ = std::make_unique<Cache>("l2", config.l2, config.memory);
+  }
+}
+
+Cycles Machine::MissCost(PhysAddr pa, bool is_write, bool l1_evicted_dirty) {
+  Cycles cost(0);
+  if (l2_ != nullptr) {
+    const CacheAccessOutcome l2 = l2_->AccessLine(pa, is_write);
+    cost += l2.hit ? Cycles(config_.l2_hit_cycles) : Cycles(config_.memory.line_fill_cycles);
+    if (l2.evicted_dirty) {
+      cost += Cycles(config_.memory.writeback_cycles);
+    }
+    if (l1_evicted_dirty) {
+      cost += Cycles(2);  // castout absorbed by the L2
+    }
+  } else {
+    cost += Cycles(config_.memory.line_fill_cycles);
+    if (l1_evicted_dirty) {
+      cost += Cycles(config_.memory.writeback_cycles);
+    }
+  }
+  return cost;
+}
+
+void Machine::TouchData(PhysAddr pa, bool is_write, bool cached) {
+  if (!cached) {
+    AddCycles(dcache_.AccessUncached(is_write));
+    return;
+  }
+  const CacheAccessOutcome l1 = dcache_.AccessLine(pa, is_write);
+  AddCycles(l1.hit ? Cycles(1) : MissCost(pa, is_write, l1.evicted_dirty));
+}
+
+void Machine::TouchInstruction(PhysAddr pa, bool cached) {
+  if (!cached) {
+    AddCycles(icache_.AccessUncached(false));
+    return;
+  }
+  const CacheAccessOutcome l1 = icache_.AccessLine(pa, false);
+  AddCycles(l1.hit ? Cycles(1) : MissCost(pa, false, l1.evicted_dirty));
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,79 @@
+// The hardware substrate bundle: physical memory, split L1 caches, the cycle clock and the
+// event counters, all configured from one MachineConfig.
+//
+// Everything above this layer (MMU, kernel, workloads) charges time exclusively through
+// Machine, so a single place accounts for every simulated cycle.
+
+#ifndef PPCMM_SRC_SIM_MACHINE_H_
+#define PPCMM_SRC_SIM_MACHINE_H_
+
+#include "src/sim/cache.h"
+#include "src/sim/cycle_types.h"
+#include "src/sim/hw_counters.h"
+#include "src/sim/machine_config.h"
+#include <memory>
+
+#include "src/sim/memory.h"
+#include "src/sim/phys_addr.h"
+#include "src/sim/trace.h"
+
+namespace ppcmm {
+
+// One simulated machine instance.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+  Cache& icache() { return icache_; }
+  Cache& dcache() { return dcache_; }
+  // The optional board L2 (null when the profile has none).
+  Cache* l2cache() { return l2_.get(); }
+  HwCounters& counters() { return counters_; }
+  const HwCounters& counters() const { return counters_; }
+  TraceBuffer& trace() { return trace_; }
+
+  // Records an event at the current cycle (no-op unless tracing is enabled).
+  void Trace(TraceEvent event, uint32_t a = 0, uint32_t b = 0) {
+    trace_.Record(counters_.cycles, event, a, b);
+  }
+
+  // Adds raw execution cycles (instruction issue, interrupt overheads, handler bodies).
+  void AddCycles(Cycles c) { counters_.cycles += c.value; }
+  Cycles Now() const { return Cycles(counters_.cycles); }
+
+  // Charges one data reference at `pa` through (or around) the data cache and advances the
+  // clock. `cached=false` models a cache-inhibited (WIMG I-bit) access.
+  void TouchData(PhysAddr pa, bool is_write, bool cached = true);
+
+  // Charges one instruction fetch at `pa` through the instruction cache.
+  void TouchInstruction(PhysAddr pa, bool cached = true);
+
+  // Issues a software data prefetch (dcbt) for the line containing `pa`.
+  void PrefetchData(PhysAddr pa) { AddCycles(dcache_.Prefetch(pa)); }
+
+  // Elapsed simulated wall-clock time at this machine's clock rate.
+  double ElapsedMicros() const { return CyclesToMicros(Now(), config_.clock_mhz); }
+  double ElapsedSeconds() const { return CyclesToSeconds(Now(), config_.clock_mhz); }
+
+ private:
+  // Charges an L1 miss through the L2 (if present) or memory; returns the cycles.
+  Cycles MissCost(PhysAddr pa, bool is_write, bool l1_evicted_dirty);
+
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  Cache icache_;
+  Cache dcache_;
+  std::unique_ptr<Cache> l2_;
+  HwCounters counters_;
+  TraceBuffer trace_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_SIM_MACHINE_H_

@@ -1,0 +1,80 @@
+#include "src/sim/memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes) : data_(size_bytes, 0) {
+  PPCMM_CHECK_MSG(size_bytes % kPageSize == 0, "RAM size must be page aligned");
+  PPCMM_CHECK(size_bytes > 0);
+}
+
+void PhysicalMemory::CheckRange(PhysAddr pa, uint32_t len) const {
+  PPCMM_CHECK_MSG(static_cast<uint64_t>(pa.value) + len <= data_.size(),
+                  "physical access out of range: pa=0x" << std::hex << pa.value << " len=" << std::dec
+                                                        << len);
+}
+
+uint8_t PhysicalMemory::Read8(PhysAddr pa) const {
+  CheckRange(pa, 1);
+  return data_[pa.value];
+}
+
+void PhysicalMemory::Write8(PhysAddr pa, uint8_t value) {
+  CheckRange(pa, 1);
+  data_[pa.value] = value;
+}
+
+uint32_t PhysicalMemory::Read32(PhysAddr pa) const {
+  CheckRange(pa, 4);
+  uint32_t v = 0;
+  std::memcpy(&v, &data_[pa.value], 4);
+  return v;
+}
+
+void PhysicalMemory::Write32(PhysAddr pa, uint32_t value) {
+  CheckRange(pa, 4);
+  std::memcpy(&data_[pa.value], &value, 4);
+}
+
+uint64_t PhysicalMemory::Read64(PhysAddr pa) const {
+  CheckRange(pa, 8);
+  uint64_t v = 0;
+  std::memcpy(&v, &data_[pa.value], 8);
+  return v;
+}
+
+void PhysicalMemory::Write64(PhysAddr pa, uint64_t value) {
+  CheckRange(pa, 8);
+  std::memcpy(&data_[pa.value], &value, 8);
+}
+
+void PhysicalMemory::Copy(PhysAddr dst, PhysAddr src, uint32_t len) {
+  CheckRange(dst, len);
+  CheckRange(src, len);
+  const bool overlap =
+      dst.value < src.value + len && src.value < dst.value + len && len > 0 && dst.value != src.value;
+  PPCMM_CHECK_MSG(!overlap || dst.value == src.value, "PhysicalMemory::Copy ranges overlap");
+  std::memmove(&data_[dst.value], &data_[src.value], len);
+}
+
+void PhysicalMemory::Fill(PhysAddr dst, uint8_t value, uint32_t len) {
+  CheckRange(dst, len);
+  std::memset(&data_[dst.value], value, len);
+}
+
+void PhysicalMemory::ZeroFrame(uint32_t frame) {
+  Fill(PhysAddr::FromFrame(frame), 0, kPageSize);
+}
+
+bool PhysicalMemory::FrameIsZero(uint32_t frame) const {
+  const PhysAddr base = PhysAddr::FromFrame(frame);
+  CheckRange(base, kPageSize);
+  const uint8_t* p = &data_[base.value];
+  return std::all_of(p, p + kPageSize, [](uint8_t b) { return b == 0; });
+}
+
+}  // namespace ppcmm

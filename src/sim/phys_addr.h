@@ -1,0 +1,45 @@
+// Physical address strong type.
+//
+// The 32-bit PowerPC physical address space: 20-bit physical page number + 12-bit offset.
+// Kept in src/sim because the physical memory and cache models — which sit below the MMU —
+// operate purely on physical addresses.
+
+#ifndef PPCMM_SRC_SIM_PHYS_ADDR_H_
+#define PPCMM_SRC_SIM_PHYS_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace ppcmm {
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageShift;
+inline constexpr uint32_t kPageOffsetMask = kPageSize - 1;
+
+// A 32-bit physical address.
+struct PhysAddr {
+  uint32_t value = 0;
+
+  constexpr PhysAddr() = default;
+  constexpr explicit PhysAddr(uint32_t v) : value(v) {}
+
+  constexpr auto operator<=>(const PhysAddr&) const = default;
+
+  // Physical page frame number (top 20 bits).
+  constexpr uint32_t PageFrame() const { return value >> kPageShift; }
+  // Byte offset within the page (low 12 bits).
+  constexpr uint32_t PageOffset() const { return value & kPageOffsetMask; }
+
+  // Builds an address from a page frame number and an offset within the page.
+  static constexpr PhysAddr FromFrame(uint32_t frame, uint32_t offset = 0) {
+    return PhysAddr((frame << kPageShift) | (offset & kPageOffsetMask));
+  }
+
+  friend constexpr PhysAddr operator+(PhysAddr a, uint32_t delta) {
+    return PhysAddr(a.value + delta);
+  }
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_SIM_PHYS_ADDR_H_

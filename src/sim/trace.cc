@@ -1,0 +1,89 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kTlbMiss:
+      return "tlb_miss";
+    case TraceEvent::kHtabMiss:
+      return "htab_miss";
+    case TraceEvent::kPageFault:
+      return "page_fault";
+    case TraceEvent::kCowFault:
+      return "cow_fault";
+    case TraceEvent::kContextSwitch:
+      return "context_switch";
+    case TraceEvent::kFlushPage:
+      return "flush_page";
+    case TraceEvent::kFlushContext:
+      return "flush_context";
+    case TraceEvent::kZombieReclaim:
+      return "zombie_reclaim";
+    case TraceEvent::kSyscall:
+      return "syscall";
+    case TraceEvent::kIdleSlice:
+      return "idle_slice";
+    case TraceEvent::kDirtyBitUpdate:
+      return "dirty_bit_update";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(uint32_t capacity) : ring_(capacity) {
+  PPCMM_CHECK(capacity > 0);
+}
+
+void TraceBuffer::Record(uint64_t cycle, TraceEvent event, uint32_t a, uint32_t b) {
+  if (!enabled_) {
+    return;
+  }
+  ring_[next_] = TraceRecord{.cycle = cycle, .event = event, .a = a, .b = b};
+  next_ = (next_ + 1) % static_cast<uint32_t>(ring_.size());
+  ++total_;
+  ++counts_[static_cast<uint8_t>(event) & 0xF];
+}
+
+std::vector<TraceRecord> TraceBuffer::Records() const {
+  std::vector<TraceRecord> out;
+  const uint64_t kept = std::min<uint64_t>(total_, ring_.size());
+  out.reserve(kept);
+  // Oldest retained record sits at next_ when the ring has wrapped, at 0 otherwise.
+  const uint32_t start = total_ > ring_.size() ? next_ : 0;
+  for (uint64_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::CountOf(TraceEvent event) const {
+  return counts_[static_cast<uint8_t>(event) & 0xF];
+}
+
+std::string TraceBuffer::Dump(uint32_t max_lines) const {
+  const std::vector<TraceRecord> records = Records();
+  std::ostringstream oss;
+  const size_t start = records.size() > max_lines ? records.size() - max_lines : 0;
+  for (size_t i = start; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    oss << r.cycle << "  " << TraceEventName(r.event) << "  a=0x" << std::hex << r.a
+        << " b=0x" << r.b << std::dec << "\n";
+  }
+  return oss.str();
+}
+
+void TraceBuffer::Clear() {
+  next_ = 0;
+  total_ = 0;
+  counts_.fill(0);
+  for (TraceRecord& r : ring_) {
+    r = TraceRecord{};
+  }
+}
+
+}  // namespace ppcmm

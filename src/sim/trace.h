@@ -1,0 +1,77 @@
+// Lightweight event tracing: a fixed-size ring buffer of timestamped MMU/kernel events.
+//
+// Plays the role of the instrumentation the authors bolted onto their kernel while chasing
+// these optimizations ("having a repeatable set of benchmarks was an invaluable aid in
+// overcoming intuitions", §1 — and so is seeing the event stream). Disabled by default;
+// recording is a couple of stores when enabled.
+
+#ifndef PPCMM_SRC_SIM_TRACE_H_
+#define PPCMM_SRC_SIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppcmm {
+
+// Event kinds, kept coarse on purpose: the trace answers "what happened around cycle X",
+// not "every memory reference".
+enum class TraceEvent : uint8_t {
+  kTlbMiss,         // a = effective page number, b = 1 for instruction side
+  kHtabMiss,        // a = effective page number
+  kPageFault,       // a = effective page number
+  kCowFault,        // a = effective page number
+  kContextSwitch,   // a = previous task id, b = next task id
+  kFlushPage,       // a = effective page number
+  kFlushContext,    // a = retired context, b = fresh context
+  kZombieReclaim,   // a = entries reclaimed in this idle pass
+  kSyscall,         // a = kernel-op discriminator
+  kIdleSlice,       // a = budget in cycles (truncated)
+  kDirtyBitUpdate,  // a = effective page number
+};
+
+const char* TraceEventName(TraceEvent event);
+
+// One record.
+struct TraceRecord {
+  uint64_t cycle = 0;
+  TraceEvent event = TraceEvent::kTlbMiss;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+// The ring buffer.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(uint32_t capacity = 4096);
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Records an event (no-op when disabled).
+  void Record(uint64_t cycle, TraceEvent event, uint32_t a = 0, uint32_t b = 0);
+
+  // The retained records, oldest first (at most `capacity` of the most recent).
+  std::vector<TraceRecord> Records() const;
+  // Events recorded since construction/Clear, including ones the ring has dropped.
+  uint64_t TotalRecorded() const { return total_; }
+  uint64_t CountOf(TraceEvent event) const;
+
+  // Renders the retained records, one per line: "cycle  event  a b".
+  std::string Dump(uint32_t max_lines = 64) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  uint32_t next_ = 0;
+  uint64_t total_ = 0;
+  bool enabled_ = false;
+  std::array<uint64_t, 16> counts_{};
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_SIM_TRACE_H_

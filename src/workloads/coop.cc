@@ -1,0 +1,199 @@
+#include "src/workloads/coop.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+// Thrown into parked fibers at teardown to unwind them out of kernel code.
+struct ShutdownSignal {};
+
+}  // namespace
+
+// Caller identification: which fiber (if any) owns the current host thread.
+namespace {
+thread_local void* current_fiber_key = nullptr;
+}  // namespace
+
+CoopHarness::CoopHarness(Kernel& kernel) : kernel_(kernel) {
+  kernel_.SetSwitchHook([this](TaskId previous, TaskId next) { OnSwitch(previous, next); });
+}
+
+CoopHarness::~CoopHarness() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    for (auto& [id, fiber] : fibers_) {
+      fiber->cv.notify_all();
+    }
+  }
+  for (auto& [id, fiber] : fibers_) {
+    if (fiber->thread.joinable()) {
+      fiber->thread.join();
+    }
+  }
+  kernel_.SetSwitchHook(nullptr);
+}
+
+void CoopHarness::AddTask(TaskId task, std::function<void()> body) {
+  PPCMM_CHECK_MSG(kernel_.TaskExists(task), "AddTask for unknown task " << task.value);
+  std::unique_lock<std::mutex> lock(mutex_);
+  PPCMM_CHECK_MSG(!fibers_.contains(task.value), "task " << task.value << " already has a body");
+  auto fiber = std::make_unique<Fiber>();
+  fiber->body = std::move(body);
+  Fiber* raw = fiber.get();
+  ++live_fibers_;
+  fiber->thread = std::thread([this, task, raw] {
+    current_fiber_key = raw;
+    try {
+      WaitForBaton(*raw);
+      raw->body();
+    } catch (const ShutdownSignal&) {
+      std::unique_lock<std::mutex> lock2(mutex_);
+      raw->done = true;
+      --live_fibers_;
+      return;  // teardown: no baton handoff
+    } catch (...) {
+      std::unique_lock<std::mutex> lock2(mutex_);
+      if (!failure_) {
+        failure_ = std::current_exception();
+      }
+    }
+    FinishFiber(task);
+  });
+  fibers_.emplace(task.value, std::move(fiber));
+}
+
+void CoopHarness::Run() {
+  TaskId first{0};
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (fibers_.empty()) {
+      return;
+    }
+    main_may_run_ = true;
+  }
+  // Pick the first registered runnable task, re-queueing any unregistered ones we skip.
+  std::vector<TaskId> skipped;
+  while (true) {
+    const std::optional<TaskId> pick = kernel_.scheduler().PickNext();
+    PPCMM_CHECK_MSG(pick.has_value(), "CoopHarness::Run: no registered task is runnable");
+    if (FindFiber(*pick) != nullptr) {
+      first = *pick;
+      break;
+    }
+    skipped.push_back(*pick);
+  }
+  for (const TaskId task : skipped) {
+    kernel_.scheduler().MakeRunnable(task);
+  }
+
+  kernel_.SwitchTo(first);  // the hook parks this (main) thread until the fibers finish
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  main_cv_.wait(lock, [&] { return main_may_run_; });
+  if (failure_) {
+    const std::exception_ptr failure = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(failure);
+  }
+}
+
+void CoopHarness::OnSwitch(TaskId /*previous*/, TaskId next) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Fiber* target = FindFiber(next);
+  if (target == nullptr || target->done) {
+    // Switching to a task without a live registered body: the caller keeps driving it
+    // inline (the pre-harness style). Nothing to park or wake.
+    return;
+  }
+  target->may_run = true;
+  target->cv.notify_all();
+
+  Fiber* caller = static_cast<Fiber*>(current_fiber_key);
+  if (caller == nullptr) {
+    // The main thread: park until the run completes.
+    main_may_run_ = false;
+    main_cv_.wait(lock, [&] { return main_may_run_; });
+    return;
+  }
+  if (caller->done) {
+    return;  // a finishing fiber handing the baton off; its thread exits next
+  }
+  caller->may_run = false;
+  caller->cv.wait(lock, [&] { return caller->may_run || shutting_down_; });
+  if (!caller->may_run && shutting_down_) {
+    throw ShutdownSignal{};
+  }
+}
+
+void CoopHarness::WaitForBaton(Fiber& fiber) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  fiber.started = true;
+  fiber.cv.wait(lock, [&] { return fiber.may_run || shutting_down_; });
+  if (!fiber.may_run && shutting_down_) {
+    throw ShutdownSignal{};
+  }
+}
+
+void CoopHarness::FinishFiber(TaskId task) {
+  TaskId next{0};
+  // A finished body's task must leave the scheduler: its continuation no longer exists, so
+  // the task parks as blocked (a later manual SwitchTo may still revive it for inspection).
+  if (kernel_.TaskExists(task)) {
+    Task& finished = kernel_.task(task);
+    if (finished.state != TaskState::kZombie) {
+      finished.state = TaskState::kBlocked;
+    }
+    kernel_.scheduler().Remove(task);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Fiber* fiber = FindFiber(task);
+    fiber->done = true;
+    --live_fibers_;
+    if (shutting_down_) {
+      return;
+    }
+    if (failure_ || live_fibers_ == 0) {
+      main_may_run_ = true;
+      main_cv_.notify_all();
+      return;
+    }
+    // Hand the baton to the next registered runnable fiber.
+    std::vector<TaskId> skipped;
+    std::optional<TaskId> pick;
+    while ((pick = kernel_.scheduler().PickNext()).has_value()) {
+      Fiber* candidate = FindFiber(*pick);
+      if (candidate != nullptr && !candidate->done) {
+        next = *pick;
+        break;
+      }
+      skipped.push_back(*pick);
+    }
+    for (const TaskId skipped_task : skipped) {
+      kernel_.scheduler().MakeRunnable(skipped_task);
+    }
+    if (next.value == 0) {
+      // Live fibers remain but none is runnable: they are blocked forever.
+      failure_ = std::make_exception_ptr(
+          std::runtime_error("CoopHarness: all remaining task bodies are blocked"));
+      main_may_run_ = true;
+      main_cv_.notify_all();
+      return;
+    }
+  }
+  kernel_.SwitchTo(next);  // hook wakes the target; this (done) fiber returns immediately
+}
+
+CoopHarness::Fiber* CoopHarness::FindFiber(TaskId task) {
+  auto it = fibers_.find(task.value);
+  return it == fibers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ppcmm

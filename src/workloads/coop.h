@@ -1,0 +1,82 @@
+// CoopHarness: run multiple task "programs" against one Kernel with real blocking semantics.
+//
+// The simulator is single-threaded in spirit: exactly one task runs at a time and every
+// cycle is charged deterministically. But C++ call stacks cannot be suspended, so a task
+// body that calls a blocking operation (PipeReadBlocking and friends) needs somewhere to
+// sleep while another task's body runs. The harness gives each registered task its own
+// host thread and serializes them strictly: a thread runs only while its task is the
+// kernel's current task; Kernel::SwitchTo parks the switching thread and wakes the target's.
+// Simulated time, counters, and scheduling decisions remain fully deterministic — host
+// threads are pure continuation storage, never a source of parallelism.
+//
+// Usage:
+//   CoopHarness harness(kernel);
+//   harness.AddTask(producer, [&] { kernel.PipeWriteBlocking(pipe, src, kBig); });
+//   harness.AddTask(consumer, [&] { kernel.PipeReadBlocking(pipe, dst, kBig); });
+//   harness.Run();  // returns when every body has finished
+
+#ifndef PPCMM_SRC_WORKLOADS_COOP_H_
+#define PPCMM_SRC_WORKLOADS_COOP_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/kernel/kernel.h"
+
+namespace ppcmm {
+
+// Runs registered task bodies to completion under the kernel's scheduler.
+class CoopHarness {
+ public:
+  explicit CoopHarness(Kernel& kernel);
+  ~CoopHarness();
+
+  CoopHarness(const CoopHarness&) = delete;
+  CoopHarness& operator=(const CoopHarness&) = delete;
+
+  // Registers a body for `task` (which must already exist and be runnable). Bodies run when
+  // the scheduler selects their task; they may call blocking kernel operations freely.
+  void AddTask(TaskId task, std::function<void()> body);
+
+  // Runs until every registered body returns. Exceptions thrown by bodies (including
+  // deadlock checks) are rethrown here. Tasks are NOT exited automatically; bodies that
+  // want to die call Exit themselves, otherwise the task survives for inspection.
+  void Run();
+
+ private:
+  struct Fiber {
+    std::function<void()> body;
+    std::thread thread;
+    std::condition_variable cv;
+    bool may_run = false;   // this fiber holds the simulation baton
+    bool started = false;
+    bool done = false;
+  };
+
+  // The kernel's switch hook: parks the calling fiber, wakes the target's.
+  void OnSwitch(TaskId previous, TaskId next);
+  // Blocks the calling thread until its fiber is handed the baton.
+  void WaitForBaton(Fiber& fiber);
+  void HandBatonTo(TaskId task);
+  // Called at the end of a body: hands the baton to the next runnable fiber or back to Run.
+  void FinishFiber(TaskId task);
+  Fiber* FindFiber(TaskId task);
+
+  Kernel& kernel_;
+  std::mutex mutex_;
+  std::map<uint32_t, std::unique_ptr<Fiber>> fibers_;
+  std::condition_variable main_cv_;
+  bool main_may_run_ = true;
+  bool shutting_down_ = false;
+  uint32_t live_fibers_ = 0;
+  std::exception_ptr failure_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_COOP_H_

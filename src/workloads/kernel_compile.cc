@@ -1,0 +1,114 @@
+#include "src/workloads/kernel_compile.h"
+
+#include "src/kernel/layout.h"
+#include "src/sim/rng.h"
+
+namespace ppcmm {
+
+KernelCompileResult RunKernelCompile(System& system, const KernelCompileConfig& config) {
+  Kernel& kernel = system.kernel();
+  Rng rng(config.seed);
+
+  // The build tree: one compiler image, the shared C library, one source file and one
+  // object file per unit.
+  const FileId cc1_image = kernel.page_cache().CreateFile(config.cc1_text_pages);
+  const FileId libc_image = kernel.page_cache().CreateFile(config.shared_lib_pages);
+  const FileId make_image = kernel.page_cache().CreateFile(8);
+
+  const TaskId make = kernel.CreateTask("make");
+  kernel.Exec(make, ExecImage{.text_pages = 8,
+                              .data_pages = 32,
+                              .stack_pages = 4,
+                              .text_file = make_image});
+  kernel.SwitchTo(make);
+  kernel.UserExecute(512);
+
+  const HwCounters before = system.counters();
+  const Cycles start = system.machine().Now();
+  double kernel_share_sum = 0;
+  uint32_t kernel_share_samples = 0;
+
+  for (uint32_t unit = 0; unit < config.compilation_units; ++unit) {
+    // make: parse a rule, stat files.
+    kernel.UserExecute(1024);
+    kernel.NullSyscall();
+
+    // fork + exec cc1.
+    const TaskId cc1 = kernel.Fork(make);
+    kernel.SwitchTo(cc1);
+    kernel.Exec(cc1, ExecImage{.text_pages = config.cc1_text_pages,
+                               .data_pages = config.working_set_pages + 16,
+                               .stack_pages = 8,
+                               .text_file = cc1_image});
+
+    // Dynamic linking: map shared libraries at a fixed address, remapping what a previous
+    // stage put there — the §7 flush-heavy path.
+    const uint32_t lib_base = (kUserMmapBase >> kPageShift) + 0x400;
+    kernel.Mmap(config.shared_lib_pages, MmapOptions{.fixed_page = lib_base,
+                                                     .file = libc_image,
+                                                     .file_page_offset = 0,
+                                                     .writable = false});
+    // The linker touches a scattered quarter of the library pages.
+    for (uint32_t i = 0; i < config.shared_lib_pages / 4; ++i) {
+      const uint32_t page = lib_base + static_cast<uint32_t>(
+                                           rng.NextBelow(config.shared_lib_pages));
+      kernel.UserTouch(EffAddr::FromPage(page), AccessKind::kLoad);
+    }
+    // Relink/remap once more (ld.so fixups), unmapping the previous mapping in place.
+    kernel.Mmap(config.shared_lib_pages, MmapOptions{.fixed_page = lib_base,
+                                                     .file = libc_image,
+                                                     .file_page_offset = 0,
+                                                     .writable = false});
+
+    // Read the source file; cold pages mean disk waits spent in the idle task.
+    const FileId source = kernel.page_cache().CreateFile(config.source_file_pages);
+    kernel.FileRead(source, 0, config.source_file_pages * kPageSize,
+                    EffAddr(kUserDataBase + 16 * kPageSize));
+
+    // Compile: passes over the anonymous working set interleaved with execution.
+    const EffAddr heap(kUserDataBase);
+    for (uint32_t loop = 0; loop < config.compute_loops; ++loop) {
+      kernel.UserExecute(4096);
+      for (uint32_t p = 0; p < config.working_set_pages; ++p) {
+        const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(kPageSize / 64)) * 64;
+        kernel.UserTouch(heap + p * kPageSize + offset,
+                         rng.Chance(1, 3) ? AccessKind::kStore : AccessKind::kLoad);
+      }
+    }
+
+    // Sample the TLB occupancy mid-compile, as the paper's hardware monitor did.
+    {
+      Tlb& itlb = system.mmu().itlb();
+      Tlb& dtlb = system.mmu().dtlb();
+      const uint32_t valid = itlb.ValidCount() + dtlb.ValidCount();
+      const uint32_t kernel_entries = itlb.KernelEntryCount() + dtlb.KernelEntryCount();
+      if (valid > 0) {
+        kernel_share_sum += static_cast<double>(kernel_entries) / valid;
+        ++kernel_share_samples;
+      }
+    }
+
+    // Emit the object file, then wait for it to hit "disk" in the idle task.
+    const FileId object = kernel.page_cache().CreateFile(config.object_file_pages);
+    kernel.FileWrite(object, 0, config.object_file_pages * kPageSize, heap);
+    kernel.SimulateIoWait(Cycles(kernel.costs().disk_latency_cycles));
+
+    kernel.Exit(cc1);
+    kernel.SwitchTo(make);
+    kernel.page_cache().DeleteFile(source);
+    kernel.page_cache().DeleteFile(object);
+  }
+
+  KernelCompileResult result;
+  result.units = config.compilation_units;
+  result.counters = system.counters().Diff(before);
+  result.seconds = CyclesToSeconds(system.machine().Now() - start,
+                                   system.machine_config().clock_mhz);
+  result.end_stats = ComputeStats(system, result.counters);
+  result.avg_kernel_tlb_share =
+      kernel_share_samples > 0 ? kernel_share_sum / kernel_share_samples : 0.0;
+  kernel.Exit(make);
+  return result;
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,49 @@
+// The kernel-compile workload: "the informal Linux benchmark of compiling the kernel ... a
+// good guess at a typical user load in a system used for program development" (§4).
+//
+// A `make` process repeatedly forks and execs compiler processes. Each compile maps shared
+// libraries (the fixed-address remaps whose flushes §7 attacks), reads a source file (page
+// cache misses with idle time during the disk waits — where the §7 zombie reclaim and §9
+// page zeroing run), chews on an anonymous working set, writes an object file and exits.
+// Scaled down from the paper's full kernel build but preserving the operation mix.
+
+#ifndef PPCMM_SRC_WORKLOADS_KERNEL_COMPILE_H_
+#define PPCMM_SRC_WORKLOADS_KERNEL_COMPILE_H_
+
+#include <cstdint>
+
+#include "src/core/stats.h"
+#include "src/core/system.h"
+
+namespace ppcmm {
+
+// Workload scale knobs.
+struct KernelCompileConfig {
+  uint32_t compilation_units = 24;
+  uint32_t cc1_text_pages = 48;        // the compiler binary (shared via the page cache)
+  uint32_t source_file_pages = 6;      // per-unit source read
+  uint32_t object_file_pages = 2;      // per-unit output
+  uint32_t working_set_pages = 176;    // compiler heap churn: wider than the DTLB reach
+  uint32_t shared_lib_pages = 48;      // per-exec fixed-address library map (in the paper's
+                                       // 40–110 page flush range)
+  uint32_t compute_loops = 6;          // working-set passes per unit
+  uint64_t seed = 0x5eed;
+};
+
+// What a run produced.
+struct KernelCompileResult {
+  double seconds = 0;                 // simulated wall-clock
+  HwCounters counters;                // interval counters for the whole build
+  SystemStats end_stats;              // HTAB/TLB occupancy at the end
+  uint64_t units = 0;
+  // Kernel share of valid TLB entries, sampled mid-compile once per unit (the paper's "33%
+  // of the TLB entries under Linux/PPC were for kernel text, data and I/O pages").
+  double avg_kernel_tlb_share = 0;
+};
+
+// Runs the build inside `system` and reports.
+KernelCompileResult RunKernelCompile(System& system, const KernelCompileConfig& config);
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_KERNEL_COMPILE_H_

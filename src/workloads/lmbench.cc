@@ -1,0 +1,275 @@
+#include "src/workloads/lmbench.h"
+
+#include <vector>
+
+#include "src/kernel/layout.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+constexpr uint32_t kHeapBase = kUserDataBase;
+
+}  // namespace
+
+LmBench::LmBench(System& system, LmBenchParams params)
+    : system_(system), kernel_(system.kernel()), params_(params) {
+  shared_text_ = kernel_.page_cache().CreateFile(64);
+}
+
+TaskId LmBench::Spawn(const std::string& name) {
+  const TaskId id = kernel_.CreateTask(name);
+  kernel_.Exec(id, ExecImage{.text_pages = 16,
+                             .data_pages = 64,
+                             .stack_pages = 4,
+                             .text_file = shared_text_});
+  kernel_.SwitchTo(id);
+  // Warm the entry points: code page, a stack slot, one heap line.
+  kernel_.UserExecute(64);
+  kernel_.UserTouch(EffAddr::FromPage(kernel_.task(id).stack_page, 128), AccessKind::kStore);
+  kernel_.UserTouch(EffAddr(kHeapBase), AccessKind::kStore);
+  return id;
+}
+
+void LmBench::TouchWorkingSet(uint32_t kb, uint32_t salt) {
+  if (kb == 0) {
+    return;
+  }
+  // Stride by cache line through `kb` KB of the heap, offset by a salt so different
+  // processes' sets do not map to identical lines.
+  const uint32_t line = 32;
+  kernel_.UserTouchRange(EffAddr(kHeapBase + (salt % 4) * 1024), kb * 1024, line,
+                         AccessKind::kLoad);
+}
+
+// One slice of "application work" between kernel operations: advance through the task's
+// resident footprint one page per call and execute a few instructions.
+void LmBench::AppWork(uint32_t iter, uint32_t pages) {
+  for (uint32_t i = 0; i < pages; ++i) {
+    const uint32_t page = (iter * pages + i) % params_.app_footprint_pages;
+    kernel_.UserTouch(EffAddr(kHeapBase + page * kPageSize + 256), AccessKind::kLoad);
+  }
+  kernel_.UserExecute(16);
+}
+
+double LmBench::NullSyscallUs() {
+  const TaskId t = Spawn("nullsys");
+  kernel_.SwitchTo(t);
+  kernel_.NullSyscall();  // warm the syscall path
+  const double total = system_.TimeMicros([&] {
+    for (uint32_t i = 0; i < params_.syscall_iters; ++i) {
+      kernel_.NullSyscall();
+    }
+  });
+  kernel_.Exit(t);
+  return total / params_.syscall_iters;
+}
+
+double LmBench::ContextSwitchUs(uint32_t nproc) {
+  PPCMM_CHECK(nproc >= 2);
+  std::vector<TaskId> ring;
+  std::vector<uint32_t> pipes;
+  for (uint32_t i = 0; i < nproc; ++i) {
+    ring.push_back(Spawn("ctx" + std::to_string(i)));
+    pipes.push_back(kernel_.CreatePipe());
+  }
+
+  const EffAddr token(kHeapBase + 512);
+  // Warm one lap.
+  for (uint32_t i = 0; i < nproc; ++i) {
+    kernel_.SwitchTo(ring[i]);
+    TouchWorkingSet(params_.ctxsw_working_set_kb, i);
+    kernel_.PipeWrite(pipes[i], token, 1);
+    kernel_.PipeRead(pipes[i], token, 1);
+  }
+
+  // Timed laps: each hop is write(token) -> switch -> read(token) -> touch working set.
+  const double total = system_.TimeMicros([&] {
+    for (uint32_t pass = 0; pass < params_.ctxsw_passes; ++pass) {
+      for (uint32_t i = 0; i < nproc; ++i) {
+        kernel_.PipeWrite(pipes[i], token, 1);
+        kernel_.SwitchTo(ring[(i + 1) % nproc]);
+        kernel_.PipeRead(pipes[i], token, 1);
+        TouchWorkingSet(params_.ctxsw_working_set_kb, (i + 1) % nproc);
+      }
+    }
+  });
+  const double per_hop = total / (params_.ctxsw_passes * nproc);
+
+  // Subtract the non-switch overhead (pipe write+read + working-set touch in one process),
+  // the way lat_ctx calibrates.
+  kernel_.SwitchTo(ring[0]);
+  const double overhead = system_.TimeMicros([&] {
+                            for (uint32_t pass = 0; pass < params_.ctxsw_passes; ++pass) {
+                              kernel_.PipeWrite(pipes[0], token, 1);
+                              kernel_.PipeRead(pipes[0], token, 1);
+                              TouchWorkingSet(params_.ctxsw_working_set_kb, 0);
+                            }
+                          }) /
+                          params_.ctxsw_passes;
+
+  for (const TaskId id : ring) {
+    kernel_.Exit(id);
+  }
+  return per_hop > overhead ? per_hop - overhead : 0.0;
+}
+
+double LmBench::PipeLatencyUs() {
+  const TaskId a = Spawn("pipeA");
+  const TaskId b = Spawn("pipeB");
+  const uint32_t ab = kernel_.CreatePipe();
+  const uint32_t ba = kernel_.CreatePipe();
+  const EffAddr token(kHeapBase + 256);
+
+  // Warm.
+  kernel_.SwitchTo(a);
+  kernel_.PipeWrite(ab, token, 1);
+  kernel_.SwitchTo(b);
+  kernel_.PipeRead(ab, token, 1);
+  kernel_.PipeWrite(ba, token, 1);
+  kernel_.SwitchTo(a);
+  kernel_.PipeRead(ba, token, 1);
+
+  const double total = system_.TimeMicros([&] {
+    for (uint32_t i = 0; i < params_.pipe_latency_iters; ++i) {
+      kernel_.PipeWrite(ab, token, 1);
+      kernel_.SwitchTo(b);
+      kernel_.PipeRead(ab, token, 1);
+      AppWork(i, 4);
+      kernel_.PipeWrite(ba, token, 1);
+      kernel_.SwitchTo(a);
+      kernel_.PipeRead(ba, token, 1);
+      AppWork(i, 4);
+    }
+  });
+  kernel_.Exit(a);
+  kernel_.Exit(b);
+  // One round trip is two one-way messages; lat_pipe reports the one-way latency.
+  return total / params_.pipe_latency_iters / 2.0;
+}
+
+double LmBench::PipeBandwidthMbs() {
+  const TaskId a = Spawn("bwA");
+  const TaskId b = Spawn("bwB");
+  const uint32_t pipe = kernel_.CreatePipe();
+  const EffAddr src(kHeapBase);
+  const EffAddr dst(kHeapBase);
+
+  // Warm the 4 KB buffers on both sides.
+  kernel_.SwitchTo(a);
+  kernel_.UserTouchRange(src, kPageSize, 32, AccessKind::kStore);
+  kernel_.SwitchTo(b);
+  kernel_.UserTouchRange(dst, kPageSize, 32, AccessKind::kStore);
+  kernel_.SwitchTo(a);
+
+  const uint32_t chunk = kPageSize;
+  const uint32_t chunks = params_.pipe_bandwidth_bytes / chunk;
+  const double total_us = system_.TimeMicros([&] {
+    for (uint32_t i = 0; i < chunks; ++i) {
+      const uint32_t wrote = kernel_.PipeWrite(pipe, src, chunk);
+      PPCMM_CHECK(wrote == chunk);
+      kernel_.SwitchTo(b);
+      const uint32_t read = kernel_.PipeRead(pipe, dst, chunk);
+      PPCMM_CHECK(read == chunk);
+      AppWork(i, 1);
+      kernel_.SwitchTo(a);
+    }
+  });
+  kernel_.Exit(a);
+  kernel_.Exit(b);
+  const double bytes = static_cast<double>(chunks) * chunk;
+  return bytes / total_us;  // bytes/us == MB/s
+}
+
+double LmBench::FileRereadMbs() {
+  const TaskId t = Spawn("reread");
+  kernel_.SwitchTo(t);
+  const FileId file = kernel_.page_cache().CreateFile(params_.file_pages);
+  const EffAddr buf(kHeapBase);
+  const uint32_t chunk = 16 * kPageSize;  // 64 KB read() calls, like bw_file_rd
+
+  // First pass populates the page cache (and the user buffer's pages).
+  for (uint32_t off = 0; off < params_.file_pages * kPageSize; off += chunk) {
+    kernel_.FileRead(file, off, chunk, buf);
+  }
+
+  const double total_us = system_.TimeMicros([&] {
+    for (uint32_t pass = 0; pass < params_.file_reread_iters; ++pass) {
+      for (uint32_t off = 0; off < params_.file_pages * kPageSize; off += chunk) {
+        kernel_.FileRead(file, off, chunk, buf);
+      }
+    }
+  });
+  kernel_.Exit(t);
+  const double bytes =
+      static_cast<double>(params_.file_pages) * kPageSize * params_.file_reread_iters;
+  return bytes / total_us;
+}
+
+double LmBench::MmapLatencyUs() {
+  // lat_mmap maps a file region and unmaps it without touching the pages. The munmap must
+  // still clear the range from the TLB and hash table — the unoptimized kernel searches the
+  // HTAB for every page of the range whether or not anything is cached (§7), which is the
+  // whole cost this test exposes.
+  const TaskId t = Spawn("mmap");
+  kernel_.SwitchTo(t);
+  const FileId file = kernel_.page_cache().CreateFile(params_.mmap_pages);
+  const uint32_t fixed = (kUserMmapBase >> kPageShift) + 0x100;
+
+  // Warm one un-timed round.
+  kernel_.Mmap(params_.mmap_pages,
+               MmapOptions{.fixed_page = fixed, .file = file, .writable = false});
+  kernel_.Munmap(fixed, params_.mmap_pages);
+
+  const double timed_us = system_.TimeMicros([&] {
+    for (uint32_t i = 0; i < params_.mmap_iters; ++i) {
+      kernel_.Mmap(params_.mmap_pages,
+                   MmapOptions{.fixed_page = fixed, .file = file, .writable = false});
+      kernel_.Munmap(fixed, params_.mmap_pages);
+    }
+  });
+  kernel_.Exit(t);
+  return timed_us / params_.mmap_iters;
+}
+
+double LmBench::ProcessStartUs() {
+  const TaskId parent = Spawn("shell");
+  kernel_.SwitchTo(parent);
+
+  const double total = system_.TimeMicros([&] {
+    for (uint32_t i = 0; i < params_.proc_start_iters; ++i) {
+      const TaskId child = kernel_.Fork(parent);
+      kernel_.SwitchTo(child);
+      kernel_.Exec(child, ExecImage{.text_pages = 16,
+                                    .data_pages = 16,
+                                    .stack_pages = 4,
+                                    .text_file = shared_text_});
+      // The child runs briefly: entry code, a little stack and heap traffic.
+      kernel_.UserExecute(256);
+      kernel_.UserTouch(EffAddr::FromPage(kernel_.task(child).stack_page, 64),
+                        AccessKind::kStore);
+      kernel_.UserTouch(EffAddr(kHeapBase), AccessKind::kStore);
+      kernel_.NullSyscall();
+      kernel_.Exit(child);
+      kernel_.SwitchTo(parent);
+    }
+  });
+  kernel_.Exit(parent);
+  return total / params_.proc_start_iters;
+}
+
+LmBenchResult LmBench::RunAll() {
+  LmBenchResult result;
+  result.null_syscall_us = NullSyscallUs();
+  result.ctxsw_2p_us = ContextSwitchUs(2);
+  result.ctxsw_8p_us = ContextSwitchUs(8);
+  result.pipe_latency_us = PipeLatencyUs();
+  result.pipe_bandwidth_mbs = PipeBandwidthMbs();
+  result.file_reread_mbs = FileRereadMbs();
+  result.mmap_latency_us = MmapLatencyUs();
+  result.process_start_us = ProcessStartUs();
+  return result;
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,90 @@
+// LmBench-shaped microbenchmark drivers (§4 of the paper: "Tests were made using LmBench").
+//
+// Each driver issues the same kernel-operation sequence as the corresponding LmBench test
+// against the simulated kernel, and reports simulated time. The tests:
+//
+//   NullSyscall       lat_syscall null — getpid() in a loop
+//   ContextSwitch     lat_ctx — a ring of N processes passing a token through pipes,
+//                     reported per switch with the pipe overhead subtracted
+//   PipeLatency       lat_pipe — two processes ping-ponging one byte (one-way latency)
+//   PipeBandwidth     bw_pipe — bulk 4 KB transfers through a pipe
+//   FileReread        bw_file_rd — rereading a page-cache-resident file
+//   MmapLatency       lat_mmap — repeatedly mapping and unmapping a file region; the test
+//                     the lazy-flush work improves 80× (§7)
+//   ProcessStart      lat_proc — fork + exec + exit
+
+#ifndef PPCMM_SRC_WORKLOADS_LMBENCH_H_
+#define PPCMM_SRC_WORKLOADS_LMBENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+
+namespace ppcmm {
+
+// Results of a full suite run, in the units the paper's tables use.
+struct LmBenchResult {
+  double null_syscall_us = 0;
+  double ctxsw_2p_us = 0;
+  double ctxsw_8p_us = 0;
+  double pipe_latency_us = 0;
+  double pipe_bandwidth_mbs = 0;
+  double file_reread_mbs = 0;
+  double mmap_latency_us = 0;
+  double process_start_us = 0;
+};
+
+// Iteration counts; defaults keep a full suite under a second of host time.
+struct LmBenchParams {
+  uint32_t syscall_iters = 400;
+  uint32_t ctxsw_passes = 60;
+  uint32_t pipe_latency_iters = 150;
+  uint32_t pipe_bandwidth_bytes = 1 << 20;  // 1 MB
+  uint32_t file_pages = 256;                // 1 MB file, larger than L1
+  uint32_t file_reread_iters = 3;
+  uint32_t mmap_pages = 64;  // within the paper's 40–110 page flush ranges
+  uint32_t mmap_iters = 20;
+  uint32_t proc_start_iters = 10;
+  uint32_t ctxsw_working_set_kb = 4;  // touched by each process per switch
+  // Per-process resident footprint cycled during the pipe tests (code + libc + data pages a
+  // real lmbench process keeps live). This is what makes the reload strategy visible: with
+  // two processes plus the kernel the 603's 64-entry DTLB stays under steady pressure.
+  uint32_t app_footprint_pages = 40;
+};
+
+// The suite driver. Creates its own processes inside the given system.
+class LmBench {
+ public:
+  explicit LmBench(System& system, LmBenchParams params = LmBenchParams{});
+
+  double NullSyscallUs();
+  // Per-switch latency for an N-process ring, pipe overhead subtracted.
+  double ContextSwitchUs(uint32_t nproc);
+  double PipeLatencyUs();
+  double PipeBandwidthMbs();
+  double FileRereadMbs();
+  double MmapLatencyUs();
+  double ProcessStartUs();
+
+  LmBenchResult RunAll();
+
+ private:
+  // Spawns a standard exec'd process and warms its minimal working set.
+  TaskId Spawn(const std::string& name);
+  // Touches `kb` of the current task's heap (the per-switch working set in lat_ctx).
+  void TouchWorkingSet(uint32_t kb, uint32_t salt);
+  // One slice of between-syscall application work for the current task: `pages` pages of
+  // the resident footprint plus a few instructions.
+  void AppWork(uint32_t iter, uint32_t pages);
+
+  System& system_;
+  Kernel& kernel_;
+  LmBenchParams params_;
+  FileId shared_text_;  // the "binary" images of spawned processes
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_LMBENCH_H_

@@ -1,0 +1,139 @@
+#include "src/workloads/multiuser.h"
+
+#include <vector>
+
+#include "src/kernel/layout.h"
+#include "src/sim/rng.h"
+
+namespace ppcmm {
+
+namespace {
+
+struct User {
+  TaskId shell;
+  uint32_t mail_pipe = 0;
+};
+
+}  // namespace
+
+MultiuserResult RunMultiuserWorkload(System& system, const MultiuserConfig& config) {
+  Kernel& kernel = system.kernel();
+  Rng rng(config.seed);
+
+  const FileId shell_image = kernel.page_cache().CreateFile(8);
+  const FileId cc_image = kernel.page_cache().CreateFile(32);
+  const FileId editor_image = kernel.page_cache().CreateFile(16);
+
+  std::vector<User> users;
+  for (uint32_t u = 0; u < config.users; ++u) {
+    User user;
+    user.shell = kernel.CreateTask("sh" + std::to_string(u));
+    kernel.Exec(user.shell, ExecImage{.text_pages = 8,
+                                      .data_pages = config.editor_buffer_pages + 16,
+                                      .stack_pages = 4,
+                                      .text_file = shell_image});
+    kernel.SwitchTo(user.shell);
+    kernel.UserExecute(128);
+    user.mail_pipe = kernel.CreatePipe();
+    users.push_back(user);
+  }
+
+  const HwCounters before = system.counters();
+  const Cycles start = system.machine().Now();
+  MultiuserResult result;
+
+  for (uint32_t round = 0; round < config.rounds; ++round) {
+    for (uint32_t u = 0; u < config.users; ++u) {
+      User& user = users[u];
+      kernel.SwitchTo(user.shell);
+
+      switch ((round + u) % 4) {
+        case 0: {
+          // Editing: bursts of keystrokes over a resident buffer, periodic autosave.
+          const FileId autosave = kernel.page_cache().CreateFile(4);
+          for (uint32_t burst = 0; burst < 6; ++burst) {
+            kernel.UserExecute(256);
+            for (uint32_t p = 0; p < config.editor_buffer_pages; p += 2) {
+              kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize + (burst % 16) * 64),
+                               rng.Chance(1, 4) ? AccessKind::kStore : AccessKind::kLoad);
+            }
+          }
+          kernel.FileWrite(autosave, 0, 2 * kPageSize, EffAddr(kUserDataBase));
+          kernel.SimulateIoWait(Cycles(kernel.costs().disk_latency_cycles / 2));
+          kernel.page_cache().DeleteFile(autosave);
+          ++result.operations;
+          break;
+        }
+        case 1: {
+          // Compiling: fork + exec + working-set churn + object write, then reap.
+          const TaskId cc = kernel.Fork(user.shell);
+          kernel.SwitchTo(cc);
+          kernel.Exec(cc, ExecImage{.text_pages = 32,
+                                    .data_pages = config.compile_ws_pages + 8,
+                                    .stack_pages = 4,
+                                    .text_file = cc_image});
+          for (uint32_t pass = 0; pass < 3; ++pass) {
+            kernel.UserExecute(1024);
+            for (uint32_t p = 0; p < config.compile_ws_pages; ++p) {
+              kernel.UserTouch(
+                  EffAddr(kUserDataBase + p * kPageSize +
+                          static_cast<uint32_t>(rng.NextBelow(64)) * 64),
+                  rng.Chance(1, 3) ? AccessKind::kStore : AccessKind::kLoad);
+            }
+          }
+          const FileId object = kernel.page_cache().CreateFile(2);
+          kernel.FileWrite(object, 0, 2 * kPageSize, EffAddr(kUserDataBase));
+          kernel.SimulateIoWait(Cycles(kernel.costs().disk_latency_cycles));
+          kernel.Exit(cc);
+          kernel.SwitchTo(user.shell);
+          kernel.page_cache().DeleteFile(object);
+          ++result.operations;
+          break;
+        }
+        case 2: {
+          // Shell: a couple of quick child commands (ls-ish process starts).
+          for (uint32_t cmd = 0; cmd < 2; ++cmd) {
+            const TaskId child = kernel.Fork(user.shell);
+            kernel.SwitchTo(child);
+            kernel.Exec(child, ExecImage{.text_pages = 8,
+                                         .data_pages = 8,
+                                         .stack_pages = 2,
+                                         .text_file = shell_image});
+            kernel.UserExecute(512);
+            kernel.NullSyscall();
+            kernel.Exit(child);
+            kernel.SwitchTo(user.shell);
+          }
+          ++result.operations;
+          break;
+        }
+        case 3: {
+          // Mail: messages round-trip through the user's pipe (an MTA in miniature),
+          // reading the spool from the editor image as a stand-in.
+          for (uint32_t m = 0; m < config.mail_messages; ++m) {
+            kernel.UserTouch(EffAddr(kUserDataBase + 0x2000), AccessKind::kStore);
+            kernel.PipeWrite(user.mail_pipe, EffAddr(kUserDataBase + 0x2000), 512);
+            kernel.PipeRead(user.mail_pipe, EffAddr(kUserDataBase + 0x3000), 512);
+          }
+          kernel.FileRead(editor_image, 0, 4 * kPageSize, EffAddr(kUserDataBase + 0x4000));
+          ++result.operations;
+          break;
+        }
+      }
+    }
+    // Between rounds the machine is briefly idle (everyone is thinking/typing).
+    kernel.RunIdle(Cycles(20'000));
+  }
+
+  result.counters = system.counters().Diff(before);
+  result.seconds = CyclesToSeconds(system.machine().Now() - start,
+                                   system.machine_config().clock_mhz);
+  result.ops_per_second =
+      result.seconds > 0 ? static_cast<double>(result.operations) / result.seconds : 0;
+  for (const User& user : users) {
+    kernel.Exit(user.shell);
+  }
+  return result;
+}
+
+}  // namespace ppcmm

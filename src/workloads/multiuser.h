@@ -1,0 +1,39 @@
+// Multiuser workload: "several processes running in separate memory contexts (not threads)
+// which is the typical load on a multiuser system" (§5.1) — the regime the paper says its
+// optimizations target. Each simulated user cycles through a mix that echoes §9's "users
+// compiling, editing, reading mail": editor keystrokes over a resident buffer, a compile
+// (fork + exec + working-set churn), shell commands (process start), and mail (pipe round
+// trips), with disk waits handing time to the idle task.
+
+#ifndef PPCMM_SRC_WORKLOADS_MULTIUSER_H_
+#define PPCMM_SRC_WORKLOADS_MULTIUSER_H_
+
+#include <cstdint>
+
+#include "src/core/system.h"
+
+namespace ppcmm {
+
+struct MultiuserConfig {
+  uint32_t users = 4;
+  uint32_t rounds = 6;            // activity cycles per user
+  uint32_t editor_buffer_pages = 24;
+  uint32_t compile_ws_pages = 64;
+  uint32_t mail_messages = 4;
+  uint64_t seed = 0xBEEF;
+};
+
+struct MultiuserResult {
+  double seconds = 0;
+  HwCounters counters;
+  // Throughput: completed user operations (keystrokes batches + compiles + mails) per
+  // simulated second.
+  double ops_per_second = 0;
+  uint64_t operations = 0;
+};
+
+MultiuserResult RunMultiuserWorkload(System& system, const MultiuserConfig& config);
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_MULTIUSER_H_

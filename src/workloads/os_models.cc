@@ -1,0 +1,134 @@
+#include "src/workloads/os_models.h"
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+std::string OsName(OsPersonality os) {
+  switch (os) {
+    case OsPersonality::kLinuxOptimized:
+      return "Linux/PPC";
+    case OsPersonality::kLinuxUnoptimized:
+      return "Unoptimized Linux/PPC";
+    case OsPersonality::kRhapsody:
+      return "Rhapsody 5.0";
+    case OsPersonality::kMkLinux:
+      return "MkLinux";
+    case OsPersonality::kAix:
+      return "AIX";
+    case OsPersonality::kL4Style:
+      return "L4-style (extension)";
+  }
+  PPCMM_CHECK_MSG(false, "unknown OS personality");
+  return {};
+}
+
+OsModelSpec MakeOsModel(OsPersonality os) {
+  OsModelSpec spec;
+  spec.personality = os;
+  KernelCostModel base;
+
+  switch (os) {
+    case OsPersonality::kLinuxOptimized:
+      spec.opts = OptimizationConfig::AllOptimizations();
+      spec.costs = base;
+      break;
+
+    case OsPersonality::kLinuxUnoptimized:
+      spec.opts = OptimizationConfig::Baseline();
+      spec.costs = base;
+      break;
+
+    case OsPersonality::kAix: {
+      // Monolithic and competent at the MMU level (AIX invented the PPC hash table), but a
+      // heavyweight commercial syscall/dispatch path: roughly 5× the optimized Linux flat
+      // costs, with working hash-table management (tuned scatter, lazy-ish flushing).
+      spec.opts = OptimizationConfig::Baseline();
+      spec.opts.vsid_scatter = kDefaultVsidScatter;
+      spec.opts.optimized_handlers = true;
+      spec.opts.lazy_context_flush = true;
+      spec.opts.range_flush_cutoff = 32;
+      spec.costs = base;
+      spec.costs.syscall_body_opt = base.syscall_body_opt * 5 + 400;
+      spec.costs.ctxsw_body_opt = base.ctxsw_body_opt * 5 + 800;
+      spec.costs.fault_body_opt = base.fault_body_opt * 3;
+      spec.costs.copy_cycles_per_line = base.copy_cycles_per_line + 8;
+      break;
+    }
+
+    case OsPersonality::kMkLinux: {
+      // Mach 3 + Linux single server: each POSIX syscall is a Mach trap, an IPC into the
+      // server's address space and an IPC back — two extra protection crossings, each about
+      // the size of an unoptimized context switch plus a message build/copy. Context switch
+      // goes through the Mach scheduler and two address spaces.
+      spec.opts = OptimizationConfig::Baseline();
+      spec.costs = base;
+      const uint32_t crossing = base.ctxsw_body_unopt + 600;  // trap + msg + schedule
+      spec.costs.syscall_body_unopt = base.syscall_body_unopt + 2 * crossing;
+      spec.costs.ctxsw_body_unopt = base.ctxsw_body_unopt * 2 + 2 * crossing;
+      spec.costs.fault_body_unopt = base.fault_body_unopt + 2 * crossing;  // external pager
+      spec.costs.copy_cycles_per_line = base.copy_cycles_per_line * 2;     // double copies
+      break;
+    }
+
+    case OsPersonality::kL4Style: {
+      // Liedtke-style fast IPC: crossings cost ~10% of a Mach crossing, handlers are tuned
+      // assembly, and the MMU management is competent (tuned hash use, lazy-ish flushing).
+      spec.opts = OptimizationConfig::Baseline();
+      spec.opts.optimized_handlers = true;
+      spec.opts.vsid_scatter = kDefaultVsidScatter;
+      spec.costs = base;
+      const uint32_t crossing = 230;  // trap + register-only IPC + direct switch
+      spec.costs.syscall_body_opt = base.syscall_body_opt + 2 * crossing;
+      spec.costs.ctxsw_body_opt = base.ctxsw_body_opt + crossing;
+      spec.costs.fault_body_opt = base.fault_body_opt + 2 * crossing;  // user pager
+      break;
+    }
+
+    case OsPersonality::kRhapsody: {
+      // Mach-based like MkLinux but with the BSD server colocated in the kernel: one
+      // crossing each way is cheaper, bulk copy less penalized.
+      spec.opts = OptimizationConfig::Baseline();
+      spec.costs = base;
+      const uint32_t crossing = base.ctxsw_body_unopt + 200;
+      spec.costs.syscall_body_unopt = base.syscall_body_unopt + crossing;
+      spec.costs.ctxsw_body_unopt = base.ctxsw_body_unopt * 2 + crossing;
+      spec.costs.fault_body_unopt = base.fault_body_unopt + crossing;
+      spec.costs.copy_cycles_per_line = base.copy_cycles_per_line * 3 / 2;
+      break;
+    }
+  }
+  return spec;
+}
+
+Table3Row RunTable3Row(OsPersonality os, const MachineConfig& machine) {
+  const OsModelSpec spec = MakeOsModel(os);
+  System system(machine, spec.opts, spec.costs);
+  LmBench suite(system);
+
+  Table3Row row;
+  row.os = OsName(os);
+  row.null_syscall_us = suite.NullSyscallUs();
+  row.ctxsw_us = suite.ContextSwitchUs(2);
+  row.pipe_latency_us = suite.PipeLatencyUs();
+  row.pipe_bandwidth_mbs = suite.PipeBandwidthMbs();
+  return row;
+}
+
+std::vector<Table3Row> RunTable3(const MachineConfig& machine) {
+  return {
+      RunTable3Row(OsPersonality::kLinuxOptimized, machine),
+      RunTable3Row(OsPersonality::kLinuxUnoptimized, machine),
+      RunTable3Row(OsPersonality::kRhapsody, machine),
+      RunTable3Row(OsPersonality::kMkLinux, machine),
+      RunTable3Row(OsPersonality::kAix, machine),
+  };
+}
+
+std::vector<Table3Row> RunTable3WithExtensions(const MachineConfig& machine) {
+  std::vector<Table3Row> rows = RunTable3(machine);
+  rows.push_back(RunTable3Row(OsPersonality::kL4Style, machine));
+  return rows;
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,85 @@
+#include "src/workloads/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PPCMM_CHECK_MSG(cells.size() == header_.size(), "row width " << cells.size()
+                                                               << " != header width "
+                                                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    oss << "\n";
+  };
+  emit_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  oss << rule << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+std::string TextTable::Us(double micros) {
+  std::ostringstream oss;
+  if (micros >= 100) {
+    oss << std::fixed << std::setprecision(0);
+  } else {
+    oss << std::fixed << std::setprecision(1);
+  }
+  oss << micros << " us";
+  return oss.str();
+}
+
+std::string TextTable::Mbs(double mbs) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(1) << mbs << " MB/s";
+  return oss.str();
+}
+
+std::string TextTable::Pct(double fraction) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(0) << fraction * 100.0 << "%";
+  return oss.str();
+}
+
+std::string TextTable::Num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string TextTable::Count(uint64_t value) {
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace ppcmm

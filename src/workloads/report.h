@@ -1,0 +1,35 @@
+// Fixed-width table formatting for the benchmark harnesses, plus paper-vs-measured rows for
+// EXPERIMENTS.md.
+
+#ifndef PPCMM_SRC_WORKLOADS_REPORT_H_
+#define PPCMM_SRC_WORKLOADS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppcmm {
+
+// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+  // Cell formatting helpers.
+  static std::string Us(double micros);      // "41.3 us"
+  static std::string Mbs(double mbs);        // "52.1 MB/s"
+  static std::string Pct(double fraction);   // "75%"
+  static std::string Num(double value, int precision = 1);
+  static std::string Count(uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_REPORT_H_

@@ -1,0 +1,86 @@
+#include "src/workloads/xserver.h"
+
+#include <vector>
+
+#include "src/kernel/layout.h"
+#include "src/sim/rng.h"
+
+namespace ppcmm {
+
+XServerResult RunXServerWorkload(System& system, const XServerConfig& config) {
+  Kernel& kernel = system.kernel();
+  Rng rng(0xE5);
+
+  // The server: maps the framebuffer, waits for requests.
+  const TaskId xserver = kernel.CreateTask("X");
+  kernel.Exec(xserver, ExecImage{.text_pages = 24, .data_pages = 48, .stack_pages = 4});
+  kernel.SwitchTo(xserver);
+  const uint32_t fb_start = kernel.MapFramebuffer();
+  kernel.UserTouchRange(EffAddr(kUserDataBase), 16 * kPageSize, kPageSize,
+                        AccessKind::kStore);
+
+  std::vector<TaskId> clients;
+  std::vector<uint32_t> request_pipes;
+  std::vector<uint32_t> reply_pipes;
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    const TaskId client = kernel.CreateTask("client" + std::to_string(c));
+    kernel.Exec(client, ExecImage{.text_pages = 8,
+                                  .data_pages = config.client_pages + 8,
+                                  .stack_pages = 2});
+    kernel.SwitchTo(client);
+    kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);
+    clients.push_back(client);
+    request_pipes.push_back(kernel.CreatePipe());
+    reply_pipes.push_back(kernel.CreatePipe());
+  }
+
+  const HwCounters before = system.counters();
+  const Cycles start = system.machine().Now();
+  XServerResult result;
+
+  uint32_t scanline_cursor = 0;
+  for (uint32_t round = 0; round < config.requests_per_client; ++round) {
+    for (uint32_t c = 0; c < config.clients; ++c) {
+      // Client: compute, then send a request.
+      kernel.SwitchTo(clients[c]);
+      kernel.UserExecute(256);
+      for (uint32_t p = 0; p < config.client_pages; p += 3) {
+        kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize + (round % 8) * 64),
+                         AccessKind::kLoad);
+      }
+      kernel.PipeWrite(request_pipes[c], EffAddr(kUserDataBase), 64);
+
+      // Server: receive, maybe draw, reply.
+      kernel.SwitchTo(xserver);
+      kernel.PipeRead(request_pipes[c], EffAddr(kUserDataBase + 0x4000), 64);
+      kernel.UserExecute(128);
+      if (rng.Chance(config.draw_percent, 100)) {
+        ++result.draws;
+        // Sweep scanlines: one store per line across pages_per_draw framebuffer pages.
+        for (uint32_t p = 0; p < config.pages_per_draw; ++p) {
+          const uint32_t page = (scanline_cursor + p) % (kFramebufferBytes / kPageSize);
+          for (uint32_t line = 0; line < 4; ++line) {
+            kernel.UserTouch(EffAddr::FromPage(fb_start + page, line * 1024),
+                             AccessKind::kStore);
+          }
+        }
+        scanline_cursor = (scanline_cursor + config.pages_per_draw) %
+                          (kFramebufferBytes / kPageSize);
+      }
+      kernel.PipeWrite(reply_pipes[c], EffAddr(kUserDataBase + 0x4000), 16);
+      kernel.SwitchTo(clients[c]);
+      kernel.PipeRead(reply_pipes[c], EffAddr(kUserDataBase + 0x2000), 16);
+    }
+  }
+
+  result.counters = system.counters().Diff(before);
+  result.seconds = CyclesToSeconds(system.machine().Now() - start,
+                                   system.machine_config().clock_mhz);
+  for (const TaskId client : clients) {
+    kernel.Exit(client);
+  }
+  kernel.Exit(xserver);
+  return result;
+}
+
+}  // namespace ppcmm

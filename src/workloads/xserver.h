@@ -1,0 +1,46 @@
+// The X-server-shaped workload for §5.1's frame-buffer discussion.
+//
+// An "X server" task services drawing requests from client tasks over pipes and renders
+// into the framebuffer aperture. Rendering sweeps scanlines across hundreds of framebuffer
+// pages — far beyond the DTLB reach — so without a dedicated BAT every burst of drawing
+// evicts the clients' and the kernel's translations ("programs such as X ... compete
+// constantly with other applications or the kernel for TLB space").
+//
+// The paper also reports the negative result: for applications that rarely touch I/O space
+// the BAT made no significant difference. RunXServerWorkload's `draw_fraction` knob covers
+// both regimes.
+
+#ifndef PPCMM_SRC_WORKLOADS_XSERVER_H_
+#define PPCMM_SRC_WORKLOADS_XSERVER_H_
+
+#include <cstdint>
+
+#include "src/core/system.h"
+
+namespace ppcmm {
+
+struct XServerConfig {
+  uint32_t clients = 3;
+  uint32_t requests_per_client = 40;
+  // Framebuffer pages touched per drawing request (the "heavy" regime sweeps many).
+  uint32_t pages_per_draw = 48;
+  // Fraction (percent) of requests that actually draw; the rest are round trips only —
+  // the paper's "rarely accessed a large number of I/O addresses" regime at low values.
+  uint32_t draw_percent = 100;
+  // Client-side compute working set between requests.
+  uint32_t client_pages = 24;
+};
+
+struct XServerResult {
+  double seconds = 0;
+  HwCounters counters;
+  uint64_t draws = 0;
+};
+
+// Runs the X workload in `system` (whose OptimizationConfig decides whether the framebuffer
+// is BAT-mapped) and reports interval counters.
+XServerResult RunXServerWorkload(System& system, const XServerConfig& config);
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_WORKLOADS_XSERVER_H_

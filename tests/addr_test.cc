@@ -1,0 +1,82 @@
+// Address-type tests: the Figure 1 bit-slicing of effective and physical addresses.
+
+#include <gtest/gtest.h>
+
+#include "src/mmu/addr.h"
+#include "src/sim/phys_addr.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(EffAddrTest, SplitsFigureOneFields) {
+  // 0xC0012345: segment 0xC, page index 0x0012, offset 0x345.
+  const EffAddr ea(0xC0012345);
+  EXPECT_EQ(ea.SegmentIndex(), 0xCu);
+  EXPECT_EQ(ea.PageIndex(), 0x0012u);
+  EXPECT_EQ(ea.PageOffset(), 0x345u);
+  EXPECT_EQ(ea.EffPageNumber(), 0xC0012u);
+}
+
+TEST(EffAddrTest, PageIndexIsSixteenBits) {
+  const EffAddr ea(0x0FFFF000);  // segment 0, highest page index
+  EXPECT_EQ(ea.SegmentIndex(), 0u);
+  EXPECT_EQ(ea.PageIndex(), 0xFFFFu);
+}
+
+TEST(EffAddrTest, KernelBoundary) {
+  EXPECT_FALSE(EffAddr(0xBFFFFFFF).IsKernel());
+  EXPECT_TRUE(EffAddr(0xC0000000).IsKernel());
+  EXPECT_TRUE(EffAddr(0xFFFFFFFF).IsKernel());
+  EXPECT_EQ(kFirstKernelSegment, 12u);
+}
+
+TEST(EffAddrTest, FromPageRoundTrips) {
+  const EffAddr ea = EffAddr::FromPage(0x40123, 0x7C);
+  EXPECT_EQ(ea.EffPageNumber(), 0x40123u);
+  EXPECT_EQ(ea.PageOffset(), 0x7Cu);
+  EXPECT_EQ(ea.SegmentIndex(), 4u);
+}
+
+TEST(EffAddrTest, AdditionCarriesIntoPage) {
+  const EffAddr ea = EffAddr(0x00000FFC) + 8;
+  EXPECT_EQ(ea.EffPageNumber(), 1u);
+  EXPECT_EQ(ea.PageOffset(), 4u);
+}
+
+TEST(PhysAddrTest, FrameAndOffset) {
+  const PhysAddr pa = PhysAddr::FromFrame(0x123, 0x45);
+  EXPECT_EQ(pa.value, 0x123045u);
+  EXPECT_EQ(pa.PageFrame(), 0x123u);
+  EXPECT_EQ(pa.PageOffset(), 0x45u);
+}
+
+TEST(PhysAddrTest, FromFrameMasksOversizedOffset) {
+  const PhysAddr pa = PhysAddr::FromFrame(1, 0x1234);  // offset wider than a page
+  EXPECT_EQ(pa.PageOffset(), 0x234u);
+  EXPECT_EQ(pa.PageFrame(), 1u);
+}
+
+TEST(VsidTest, TruncatesToTwentyFourBits) {
+  EXPECT_EQ(Vsid(0x12345678).value, 0x345678u);
+  EXPECT_EQ(Vsid(0xFFFFFF).value, 0xFFFFFFu);
+}
+
+TEST(VirtPageTest, OrderingAndEquality) {
+  const VirtPage a{.vsid = Vsid(1), .page_index = 2};
+  const VirtPage b{.vsid = Vsid(1), .page_index = 2};
+  const VirtPage c{.vsid = Vsid(1), .page_index = 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(AccessKindTest, Predicates) {
+  EXPECT_TRUE(IsWrite(AccessKind::kStore));
+  EXPECT_FALSE(IsWrite(AccessKind::kLoad));
+  EXPECT_FALSE(IsWrite(AccessKind::kInstructionFetch));
+  EXPECT_TRUE(IsInstruction(AccessKind::kInstructionFetch));
+  EXPECT_FALSE(IsInstruction(AccessKind::kStore));
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,106 @@
+// BAT register tests: block matching, privilege, alignment validation (§3, §5.1).
+
+#include <gtest/gtest.h>
+
+#include "src/mmu/bat.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+BatEntry KernelBat(uint32_t block = 2 * 1024 * 1024) {
+  return BatEntry{.valid = true,
+                  .eff_base = 0xC0000000,
+                  .block_bytes = block,
+                  .phys_base = 0,
+                  .cache_inhibited = false,
+                  .supervisor_only = true};
+}
+
+TEST(BatTest, TranslatesWithinBlock) {
+  BatArray bats;
+  bats.Set(0, KernelBat());
+  const auto hit = bats.Translate(EffAddr(0xC0012345), /*supervisor=*/true);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pa.value, 0x00012345u);
+  EXPECT_FALSE(hit->cache_inhibited);
+}
+
+TEST(BatTest, MissesOutsideBlock) {
+  BatArray bats;
+  bats.Set(0, KernelBat(/*block=*/2 * 1024 * 1024));
+  EXPECT_FALSE(bats.Translate(EffAddr(0xC0200000), true).has_value());  // just past 2 MB
+  EXPECT_FALSE(bats.Translate(EffAddr(0xBFFFFFFF), true).has_value());
+  EXPECT_TRUE(bats.Translate(EffAddr(0xC01FFFFF), true).has_value());  // last byte
+}
+
+TEST(BatTest, SupervisorOnlyBlocksUserAccess) {
+  BatArray bats;
+  bats.Set(0, KernelBat());
+  EXPECT_FALSE(bats.Translate(EffAddr(0xC0001000), /*supervisor=*/false).has_value());
+  EXPECT_TRUE(bats.Translate(EffAddr(0xC0001000), /*supervisor=*/true).has_value());
+}
+
+TEST(BatTest, UserVisibleEntryMatchesBothPrivileges) {
+  BatArray bats;
+  BatEntry fb = KernelBat();
+  fb.eff_base = 0x80000000;  // a frame-buffer-style user mapping (§5.1 discussion)
+  fb.phys_base = 0x01000000;
+  fb.supervisor_only = false;
+  fb.cache_inhibited = true;
+  bats.Set(1, fb);
+  const auto hit = bats.Translate(EffAddr(0x80000040), /*supervisor=*/false);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pa.value, 0x01000040u);
+  EXPECT_TRUE(hit->cache_inhibited);
+}
+
+TEST(BatTest, RejectsBadBlocks) {
+  BatArray bats;
+  BatEntry bad = KernelBat();
+  bad.block_bytes = 64 * 1024;  // below the 128 KB architectural minimum
+  EXPECT_THROW(bats.Set(0, bad), CheckFailure);
+  bad = KernelBat();
+  bad.block_bytes = 3 * 1024 * 1024;  // not a power of two
+  EXPECT_THROW(bats.Set(0, bad), CheckFailure);
+  bad = KernelBat();
+  bad.eff_base = 0xC0010000;  // unaligned to a 2 MB block
+  EXPECT_THROW(bats.Set(0, bad), CheckFailure);
+  EXPECT_THROW(bats.Set(7, KernelBat()), CheckFailure);  // only four registers per side
+}
+
+TEST(BatTest, ClearAndCount) {
+  BatArray bats;
+  EXPECT_EQ(bats.ValidCount(), 0u);
+  bats.Set(0, KernelBat());
+  BatEntry io = KernelBat();
+  io.eff_base = 0xE0000000;  // non-overlapping second entry
+  bats.Set(2, io);
+  EXPECT_EQ(bats.ValidCount(), 2u);
+  bats.Clear(0);
+  EXPECT_EQ(bats.ValidCount(), 1u);
+  EXPECT_FALSE(bats.Translate(EffAddr(0xC0000000), true).has_value());
+  EXPECT_TRUE(bats.Translate(EffAddr(0xE0000000), true).has_value());
+}
+
+TEST(BatTest, FirstMatchingEntryWins) {
+  BatArray bats;
+  bats.Set(0, KernelBat());
+  BatEntry other = KernelBat();
+  other.phys_base = 0x00800000;
+  bats.Set(1, other);  // overlapping entry later in the array
+  const auto hit = bats.Translate(EffAddr(0xC0000100), true);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pa.value, 0x00000100u);
+}
+
+TEST(BatTest, MinimumBlockSize) {
+  BatArray bats;
+  BatEntry small = KernelBat(kMinBatBlock);
+  EXPECT_NO_THROW(bats.Set(0, small));
+  EXPECT_TRUE(bats.Translate(EffAddr(0xC001FFFF), true).has_value());
+  EXPECT_FALSE(bats.Translate(EffAddr(0xC0020000), true).has_value());
+}
+
+}  // namespace
+}  // namespace ppcmm

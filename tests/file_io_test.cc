@@ -1,0 +1,134 @@
+// File read/write path tests: unaligned offsets, page-crossing copies, write-then-read
+// round trips — the CopyUserKernel edge cases the LmBench drivers never hit.
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+
+namespace ppcmm {
+namespace {
+
+TaskId SpawnStd(Kernel& kernel) {
+  const TaskId id = kernel.CreateTask("t");
+  kernel.Exec(id, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 2});
+  kernel.SwitchTo(id);
+  return id;
+}
+
+TEST(FileIoTest, WriteThenReadRoundTripsUserBytes) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = SpawnStd(kernel);
+  const FileId file = kernel.page_cache().CreateFile(4);
+
+  // Fill the user source buffer with a pattern through simulated memory.
+  const EffAddr src(kUserDataBase);
+  kernel.UserTouchRange(src, 2 * kPageSize, kPageSize, AccessKind::kStore);
+  for (uint32_t page = 0; page < 2; ++page) {
+    const uint32_t frame =
+        kernel.task(t).mm->page_table->LookupQuiet(src + page * kPageSize)->frame;
+    for (uint32_t off = 0; off < kPageSize; off += 4) {
+      sys.machine().memory().Write32(PhysAddr::FromFrame(frame, off),
+                                     0xAB000000 + page * kPageSize + off);
+    }
+  }
+
+  kernel.FileWrite(file, 0, 2 * kPageSize, src);
+
+  // Read back into a different buffer and verify every word.
+  const EffAddr dst(kUserDataBase + 0x10000);
+  kernel.FileRead(file, 0, 2 * kPageSize, dst);
+  for (uint32_t page = 0; page < 2; ++page) {
+    const uint32_t frame =
+        kernel.task(t).mm->page_table->LookupQuiet(dst + page * kPageSize)->frame;
+    for (uint32_t off = 0; off < kPageSize; off += 256) {
+      ASSERT_EQ(sys.machine().memory().Read32(PhysAddr::FromFrame(frame, off)),
+                0xAB000000 + page * kPageSize + off);
+    }
+  }
+}
+
+TEST(FileIoTest, UnalignedOffsetsCrossPageBoundaries) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = SpawnStd(kernel);
+  const FileId file = kernel.page_cache().CreateFile(4);
+
+  // Read 600 bytes starting 100 bytes before a page boundary, into a destination that
+  // itself straddles a page boundary.
+  const uint32_t file_offset = kPageSize - 100;
+  const EffAddr dst(kUserDataBase + kPageSize - 200);
+  kernel.FileRead(file, file_offset, 600, dst);
+
+  // Expected contents: the page-cache synthesis formula at the right file page/offset.
+  auto expected_byte = [&](uint32_t abs_offset) {
+    const uint32_t page = abs_offset >> kPageShift;
+    const uint32_t in_page = abs_offset & kPageOffsetMask;
+    const uint32_t word = (file.value * 0x9E3779B9u) ^ (page << 16) ^ (in_page & ~3u);
+    return static_cast<uint8_t>(word >> ((in_page & 3) * 8));
+  };
+  for (uint32_t i = 0; i < 600; i += 37) {
+    const EffAddr ea = dst + i;
+    const auto pte = kernel.task(t).mm->page_table->LookupQuiet(ea);
+    ASSERT_TRUE(pte.has_value() && pte->present) << "at +" << i;
+    const uint8_t got = sys.machine().memory().Read8(
+        PhysAddr::FromFrame(pte->frame, ea.PageOffset()));
+    ASSERT_EQ(got, expected_byte(file_offset + i)) << "at +" << i;
+  }
+}
+
+TEST(FileIoTest, WritesPersistAcrossEviction) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const FileId file = kernel.page_cache().CreateFile(2);
+  const EffAddr buf(kUserDataBase);
+  kernel.UserTouch(buf, AccessKind::kStore);
+  kernel.FileWrite(file, 64, 16, buf);
+  // Note: eviction discards cached contents and refills from the synthetic "disk" — this
+  // kernel has no writeback daemon, so dirty page-cache data lives only while cached. The
+  // test documents that behaviour: after eviction the original synthesized bytes return.
+  bool miss = false;
+  const uint32_t frame_before = kernel.page_cache().GetPage(file, 0, &miss);
+  EXPECT_FALSE(miss);
+  kernel.page_cache().EvictFile(file);
+  const uint32_t frame_after = kernel.page_cache().GetPage(file, 0, &miss);
+  EXPECT_TRUE(miss);
+  (void)frame_before;
+  const uint32_t word = sys.machine().memory().Read32(PhysAddr::FromFrame(frame_after, 64));
+  EXPECT_EQ(word, (file.value * 0x9E3779B9u) ^ 0u ^ 64u);
+}
+
+TEST(FileIoTest, PipeCopiesAtOddOffsets) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = SpawnStd(kernel);
+  const uint32_t pipe = kernel.CreatePipe();
+  // Source straddling a page boundary at a 4-byte-aligned but line-unaligned offset.
+  const EffAddr src(kUserDataBase + kPageSize - 44);
+  kernel.UserTouch(src, AccessKind::kStore);
+  kernel.UserTouch(src + 80, AccessKind::kStore);
+  const uint32_t f0 = kernel.task(t).mm->page_table->LookupQuiet(src)->frame;
+  for (uint32_t i = 0; i < 44; i += 4) {
+    sys.machine().memory().Write32(PhysAddr::FromFrame(f0, kPageSize - 44 + i), 0x51000000 + i);
+  }
+  const uint32_t f1 = kernel.task(t).mm->page_table->LookupQuiet(src + 44)->frame;
+  for (uint32_t i = 44; i < 96; i += 4) {
+    sys.machine().memory().Write32(PhysAddr::FromFrame(f1, i - 44), 0x51000000 + i);
+  }
+
+  EXPECT_EQ(kernel.PipeWrite(pipe, src, 96), 96u);
+  const EffAddr dst(kUserDataBase + 0x20000 + 12);  // unaligned destination too
+  EXPECT_EQ(kernel.PipeRead(pipe, dst, 96), 96u);
+  for (uint32_t i = 0; i < 96; i += 4) {
+    const EffAddr ea = dst + i;
+    const uint32_t frame = kernel.task(t).mm->page_table->LookupQuiet(ea)->frame;
+    ASSERT_EQ(sys.machine().memory().Read32(PhysAddr::FromFrame(frame, ea.PageOffset())),
+              0x51000000 + i)
+        << "at +" << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppcmm

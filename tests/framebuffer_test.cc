@@ -1,0 +1,132 @@
+// Framebuffer / I/O aperture tests (§5.1's frame-buffer discussion, built as an extension).
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+
+namespace ppcmm {
+namespace {
+
+TaskId SpawnStd(Kernel& kernel, const char* name = "t") {
+  const TaskId id = kernel.CreateTask(name);
+  kernel.Exec(id, ExecImage{.text_pages = 4, .data_pages = 32, .stack_pages = 2});
+  kernel.SwitchTo(id);
+  return id;
+}
+
+TEST(FramebufferTest, ApertureIsCarvedOutOfTheAllocator) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::Baseline());
+  Kernel& kernel = sys.kernel();
+  const uint32_t fb_first = kernel.FramebufferFirstFrame();
+  EXPECT_EQ(fb_first, 8192u - 512u);  // 32 MB RAM, 2 MB aperture
+  // The allocator must never hand out an aperture frame.
+  EXPECT_LE(kernel.allocator().first_frame() + kernel.allocator().TotalCount(), fb_first);
+  EXPECT_TRUE(kernel.IsIoFrame(fb_first));
+  EXPECT_FALSE(kernel.IsIoFrame(fb_first - 1));
+}
+
+TEST(FramebufferTest, WritesLandInTheAperture) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::Baseline());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = SpawnStd(kernel);
+  const uint32_t start = kernel.MapFramebuffer();
+  EXPECT_EQ(start, kUserFramebufferBase >> kPageShift);
+
+  const EffAddr pixel(kUserFramebufferBase + 5 * kPageSize + 0x40);
+  kernel.UserTouch(pixel, AccessKind::kStore);
+  const auto pte = kernel.task(t).mm->page_table->LookupQuiet(pixel);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->frame, kernel.FramebufferFirstFrame() + 5);
+  EXPECT_TRUE(pte->cache_inhibited);
+  // The MMU resolves the address into the aperture.
+  const auto pa = sys.mmu().Probe(pixel, AccessKind::kStore);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(pa->PageFrame(), kernel.FramebufferFirstFrame() + 5);
+}
+
+TEST(FramebufferTest, AccessesBypassTheDataCache) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  kernel.MapFramebuffer();
+  const uint64_t uncached_before = sys.machine().dcache().stats().uncached_accesses;
+  kernel.UserTouchRange(EffAddr(kUserFramebufferBase), 8 * kPageSize, 64, AccessKind::kStore);
+  EXPECT_GT(sys.machine().dcache().stats().uncached_accesses, uncached_before + 100);
+}
+
+TEST(FramebufferTest, BatVariantUsesNoTlbEntries) {
+  OptimizationConfig with_bat = OptimizationConfig::AllOptimizations();
+  with_bat.framebuffer_bat = true;
+  System bat_sys(MachineConfig::Ppc604(185), with_bat);
+  System pte_sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+
+  for (System* sys : {&bat_sys, &pte_sys}) {
+    Kernel& kernel = sys->kernel();
+    SpawnStd(kernel);
+    kernel.MapFramebuffer();
+    const HwCounters before = sys->counters();
+    // Scribble across 256 framebuffer pages: way past the DTLB reach.
+    for (uint32_t page = 0; page < 256; ++page) {
+      kernel.UserTouch(EffAddr(kUserFramebufferBase + page * kPageSize), AccessKind::kStore);
+    }
+    const HwCounters delta = sys->counters().Diff(before);
+    if (sys == &bat_sys) {
+      EXPECT_EQ(delta.dtlb_misses, 0u);
+      EXPECT_EQ(delta.page_faults, 0u);
+      EXPECT_GT(delta.bat_translations, 250u);
+    } else {
+      EXPECT_GE(delta.page_faults, 256u);
+      EXPECT_GE(delta.dtlb_misses, 256u);
+    }
+  }
+}
+
+TEST(FramebufferTest, MunmapAndExitLeaveApertureFramesAlone) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::Baseline());
+  Kernel& kernel = sys.kernel();
+  const uint32_t free_before = kernel.allocator().FreeCount();
+  const TaskId t = SpawnStd(kernel);
+  const uint32_t start = kernel.MapFramebuffer();
+  for (uint32_t page = 0; page < 16; ++page) {
+    kernel.UserTouch(EffAddr::FromPage(start + page), AccessKind::kStore);
+  }
+  kernel.Munmap(start, 16);  // must not DecRef aperture frames
+  kernel.Exit(t);
+  EXPECT_EQ(kernel.allocator().FreeCount(), free_before);
+}
+
+TEST(FramebufferTest, ForkSharesTheApertureWithoutCow) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId parent = SpawnStd(kernel, "x");
+  const uint32_t start = kernel.MapFramebuffer();
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+
+  const TaskId child = kernel.Fork(parent);
+  kernel.SwitchTo(child);
+  // The child writes straight to the same aperture frame — no COW copy.
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+  const auto parent_pte = kernel.task(parent).mm->page_table->LookupQuiet(EffAddr::FromPage(start));
+  const auto child_pte = kernel.task(child).mm->page_table->LookupQuiet(EffAddr::FromPage(start));
+  ASSERT_TRUE(parent_pte && child_pte);
+  EXPECT_EQ(parent_pte->frame, child_pte->frame);
+  EXPECT_TRUE(child_pte->writable);
+  kernel.Exit(child);
+  kernel.Exit(parent);
+}
+
+TEST(FramebufferTest, PixelsArePersistentInSimulatedVram) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const uint32_t start = kernel.MapFramebuffer();
+  kernel.UserTouch(EffAddr::FromPage(start, 0x100), AccessKind::kStore);
+  // Paint through simulated memory and read it back via the physical aperture.
+  const PhysAddr vram = PhysAddr::FromFrame(kernel.FramebufferFirstFrame(), 0x100);
+  sys.machine().memory().Write32(vram, 0x00FF00FF);
+  EXPECT_EQ(sys.machine().memory().Read32(vram), 0x00FF00FFu);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,67 @@
+// HwCounters tests: interval diffing, derived rates.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/hw_counters.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(HwCountersTest, DiffSubtractsEventCounts) {
+  HwCounters earlier;
+  earlier.cycles = 100;
+  earlier.dtlb_misses = 5;
+  earlier.htab_reloads = 3;
+  HwCounters later = earlier;
+  later.cycles = 400;
+  later.dtlb_misses = 25;
+  later.htab_reloads = 10;
+  later.htab_evicts = 4;
+  const HwCounters d = later.Diff(earlier);
+  EXPECT_EQ(d.cycles, 300u);
+  EXPECT_EQ(d.dtlb_misses, 20u);
+  EXPECT_EQ(d.htab_reloads, 7u);
+  EXPECT_EQ(d.htab_evicts, 4u);
+}
+
+TEST(HwCountersTest, DiffKeepsGaugeValue) {
+  HwCounters earlier;
+  earlier.kernel_tlb_highwater = 10;
+  HwCounters later;
+  later.kernel_tlb_highwater = 42;
+  EXPECT_EQ(later.Diff(earlier).kernel_tlb_highwater, 42u);
+}
+
+TEST(HwCountersTest, RatesHandleZeroDenominators) {
+  const HwCounters c;
+  EXPECT_DOUBLE_EQ(c.DtlbMissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.HtabHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.EvictToReloadRatio(), 0.0);
+}
+
+TEST(HwCountersTest, DerivedRates) {
+  HwCounters c;
+  c.dtlb_accesses = 200;
+  c.dtlb_misses = 20;
+  c.htab_searches = 100;
+  c.htab_hits = 85;
+  c.htab_reloads = 50;
+  c.htab_evicts = 40;
+  c.htab_zombie_overwrites = 5;
+  EXPECT_DOUBLE_EQ(c.DtlbMissRate(), 0.1);
+  EXPECT_DOUBLE_EQ(c.HtabHitRate(), 0.85);
+  // Live evicts and zombie overwrites both count: the reload code can't tell them apart.
+  EXPECT_DOUBLE_EQ(c.EvictToReloadRatio(), 0.9);
+}
+
+TEST(HwCountersTest, ToStringMentionsKeyFields) {
+  HwCounters c;
+  c.cycles = 123456;
+  c.htab_evicts = 7;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("cycles=123456"), std::string::npos);
+  EXPECT_NE(s.find("evicts=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppcmm

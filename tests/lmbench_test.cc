@@ -1,0 +1,97 @@
+// LmBench driver tests: every test produces sane positive numbers, and the headline
+// orderings from the paper hold (optimized beats baseline on every point).
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/workloads/lmbench.h"
+
+namespace ppcmm {
+namespace {
+
+LmBenchParams QuickParams() {
+  LmBenchParams p;
+  p.syscall_iters = 100;
+  p.ctxsw_passes = 20;
+  p.pipe_latency_iters = 40;
+  p.pipe_bandwidth_bytes = 256 * 1024;
+  p.file_pages = 64;
+  p.file_reread_iters = 2;
+  p.mmap_pages = 48;
+  p.mmap_iters = 6;
+  p.proc_start_iters = 4;
+  return p;
+}
+
+TEST(LmBenchTest, AllResultsPositiveAndFinite) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  LmBench suite(sys, QuickParams());
+  const LmBenchResult r = suite.RunAll();
+  EXPECT_GT(r.null_syscall_us, 0);
+  EXPECT_GT(r.ctxsw_2p_us, 0);
+  EXPECT_GT(r.ctxsw_8p_us, 0);
+  EXPECT_GT(r.pipe_latency_us, 0);
+  EXPECT_GT(r.pipe_bandwidth_mbs, 0);
+  EXPECT_GT(r.file_reread_mbs, 0);
+  EXPECT_GT(r.mmap_latency_us, 0);
+  EXPECT_GT(r.process_start_us, 0);
+  // Magnitude sanity: nothing absurd.
+  EXPECT_LT(r.null_syscall_us, 100);
+  EXPECT_LT(r.pipe_bandwidth_mbs, 2000);
+}
+
+TEST(LmBenchTest, OptimizedBeatsBaselineEverywhere) {
+  System base(MachineConfig::Ppc604(133), OptimizationConfig::Baseline());
+  System opt(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  LmBench base_suite(base, QuickParams());
+  LmBench opt_suite(opt, QuickParams());
+  const LmBenchResult rb = base_suite.RunAll();
+  const LmBenchResult ro = opt_suite.RunAll();
+  EXPECT_LT(ro.null_syscall_us, rb.null_syscall_us);
+  EXPECT_LT(ro.ctxsw_2p_us, rb.ctxsw_2p_us);
+  EXPECT_LT(ro.pipe_latency_us, rb.pipe_latency_us);
+  EXPECT_GT(ro.pipe_bandwidth_mbs, rb.pipe_bandwidth_mbs);
+  EXPECT_LT(ro.mmap_latency_us, rb.mmap_latency_us);
+  EXPECT_LT(ro.process_start_us, rb.process_start_us);
+}
+
+TEST(LmBenchTest, LazyFlushCollapsesMmapLatency) {
+  // §7: the 80x mmap() improvement. With a multi-hundred-page map the ratio is large.
+  LmBenchParams p = QuickParams();
+  p.mmap_pages = 512;
+  p.mmap_iters = 4;
+  System eager(MachineConfig::Ppc604(133), OptimizationConfig::Baseline());
+  System lazy(MachineConfig::Ppc604(133), OptimizationConfig::OnlyLazyFlush(20));
+  LmBench eager_suite(eager, p);
+  LmBench lazy_suite(lazy, p);
+  const double eager_us = eager_suite.MmapLatencyUs();
+  const double lazy_us = lazy_suite.MmapLatencyUs();
+  EXPECT_GT(eager_us / lazy_us, 15.0) << "eager=" << eager_us << " lazy=" << lazy_us;
+}
+
+TEST(LmBenchTest, MoreProcessesSlowTheSwitch) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  LmBenchParams p = QuickParams();
+  p.ctxsw_working_set_kb = 16;
+  LmBench suite(sys, p);
+  const double two = suite.ContextSwitchUs(2);
+  const double eight = suite.ContextSwitchUs(8);
+  EXPECT_GT(eight, two * 0.8) << "8-process switching should not be faster than 2-process";
+}
+
+TEST(LmBenchTest, SuiteLeavesNoTasksBehind) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const uint32_t frames_before = kernel.allocator().FreeCount();
+  {
+    LmBench suite(sys, QuickParams());
+    suite.RunAll();
+  }
+  EXPECT_EQ(kernel.TaskCount(), 0u);
+  // Pipes keep their buffer frames (no close in the driver) and the page cache keeps file
+  // pages, so allow those; but the bulk of memory must be back.
+  EXPECT_GT(kernel.allocator().FreeCount(), frames_before / 2);
+}
+
+}  // namespace
+}  // namespace ppcmm

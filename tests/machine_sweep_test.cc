@@ -1,0 +1,110 @@
+// Cross-machine sanity sweeps: the same workload across every machine profile must scale
+// sensibly with clock rate, cache size, and board quality.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/workloads/lmbench.h"
+
+namespace ppcmm {
+namespace {
+
+struct MachineCase {
+  std::string name;
+  MachineConfig config;
+};
+
+std::vector<MachineCase> Machines() {
+  return {
+      {"603_133", MachineConfig::Ppc603(133)},
+      {"603_180", MachineConfig::Ppc603(180)},
+      {"604_133", MachineConfig::Ppc604(133)},
+      {"604_185", MachineConfig::Ppc604(185)},
+      {"604_200_fast", MachineConfig::Ppc604FastBoard(200)},
+      {"604_185_l2", MachineConfig::Ppc604WithL2(185)},
+  };
+}
+
+class MachineSweep : public ::testing::TestWithParam<int> {
+ protected:
+  MachineConfig Config() const { return Machines()[GetParam()].config; }
+};
+
+TEST_P(MachineSweep, LmBenchCorePointsAreSane) {
+  System sys(Config(), OptimizationConfig::AllOptimizations());
+  LmBenchParams params;
+  params.syscall_iters = 100;
+  params.ctxsw_passes = 15;
+  params.pipe_latency_iters = 30;
+  LmBench suite(sys, params);
+  const double null_us = suite.NullSyscallUs();
+  const double ctxsw_us = suite.ContextSwitchUs(2);
+  const double pipe_us = suite.PipeLatencyUs();
+  EXPECT_GT(null_us, 0.1);
+  EXPECT_LT(null_us, 50);
+  EXPECT_GT(ctxsw_us, 0.5);
+  EXPECT_LT(ctxsw_us, 200);
+  EXPECT_GT(pipe_us, ctxsw_us);  // a pipe hop includes a switch plus two syscalls
+  EXPECT_LT(pipe_us, 500);
+}
+
+TEST_P(MachineSweep, KernelBootAndLifecycle) {
+  System sys(Config(), OptimizationConfig::Baseline());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("boot");
+  kernel.Exec(t, ExecImage{});
+  kernel.SwitchTo(t);
+  kernel.UserTouchRange(EffAddr(kUserDataBase), 8 * kPageSize, kPageSize, AccessKind::kStore);
+  kernel.NullSyscall();
+  kernel.Exit(t);
+  EXPECT_EQ(kernel.TaskCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweep, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return Machines()[info.param].name;
+                         });
+
+TEST(MachineScalingTest, FasterClockIsFasterWallClock) {
+  // Same machine, same work, higher clock: fewer microseconds (cycles identical).
+  auto run = [](uint32_t mhz) {
+    System sys(MachineConfig::Ppc604(mhz), OptimizationConfig::AllOptimizations());
+    Kernel& kernel = sys.kernel();
+    const TaskId t = kernel.CreateTask("t");
+    kernel.Exec(t, ExecImage{});
+    kernel.SwitchTo(t);
+    for (int i = 0; i < 100; ++i) {
+      kernel.NullSyscall();
+    }
+    return std::pair<double, uint64_t>(sys.ElapsedMicros(), sys.counters().cycles);
+  };
+  const auto [us_133, cycles_133] = run(133);
+  const auto [us_200, cycles_200] = run(200);
+  EXPECT_EQ(cycles_133, cycles_200);  // cycle-accurate: clock only changes wall time
+  EXPECT_LT(us_200, us_133);
+}
+
+TEST(MachineScalingTest, FastBoardBeatsSlowBoardOnMissHeavyWork) {
+  auto run = [](const MachineConfig& mc) {
+    System sys(mc, OptimizationConfig::AllOptimizations());
+    Kernel& kernel = sys.kernel();
+    const TaskId t = kernel.CreateTask("t");
+    kernel.Exec(t, ExecImage{.text_pages = 4, .data_pages = 512, .stack_pages = 2});
+    kernel.SwitchTo(t);
+    // A 400-page strided walk: misses everywhere, so memory timing dominates.
+    for (uint32_t p = 0; p < 400; ++p) {
+      kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize), AccessKind::kStore);
+    }
+    return sys.counters().cycles;
+  };
+  const uint64_t normal = run(MachineConfig::Ppc604(200));
+  const uint64_t fast = run(MachineConfig::Ppc604FastBoard(200));
+  EXPECT_LT(fast, normal);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,63 @@
+// OS comparison model tests: the Table 3 structural orderings.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/os_models.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(OsModelsTest, NamesAreStable) {
+  EXPECT_EQ(OsName(OsPersonality::kLinuxOptimized), "Linux/PPC");
+  EXPECT_EQ(OsName(OsPersonality::kMkLinux), "MkLinux");
+  EXPECT_EQ(OsName(OsPersonality::kAix), "AIX");
+}
+
+TEST(OsModelsTest, SpecsEncodeTheStructuralStory) {
+  const OsModelSpec mk = MakeOsModel(OsPersonality::kMkLinux);
+  const OsModelSpec linux_opt = MakeOsModel(OsPersonality::kLinuxOptimized);
+  const OsModelSpec linux_base = MakeOsModel(OsPersonality::kLinuxUnoptimized);
+  const OsModelSpec aix = MakeOsModel(OsPersonality::kAix);
+  // The microkernel pays extra protection crossings on the syscall path.
+  EXPECT_GT(mk.costs.syscall_body_unopt, linux_base.costs.syscall_body_unopt * 2);
+  // AIX is monolithic but heavyweight: slower than optimized Linux, MMU-competent.
+  EXPECT_GT(aix.costs.syscall_body_opt, linux_opt.costs.syscall_body_opt);
+  EXPECT_TRUE(aix.opts.lazy_context_flush);
+  EXPECT_FALSE(mk.opts.optimized_handlers);
+  EXPECT_TRUE(linux_opt.opts.optimized_handlers);
+}
+
+TEST(OsModelsTest, Table3OrderingsHold) {
+  // One 133 MHz 604, five OS personalities — Table 3's shape:
+  //   Linux/PPC fastest everywhere; the Mach systems slowest; AIX between.
+  const std::vector<Table3Row> rows = RunTable3(MachineConfig::Ppc604(133));
+  ASSERT_EQ(rows.size(), 5u);
+  const Table3Row& linux_opt = rows[0];
+  const Table3Row& linux_base = rows[1];
+  const Table3Row& rhapsody = rows[2];
+  const Table3Row& mklinux = rows[3];
+  const Table3Row& aix = rows[4];
+
+  // Null syscall: optimized Linux beats everything; microkernels are worst.
+  EXPECT_LT(linux_opt.null_syscall_us, aix.null_syscall_us);
+  EXPECT_LT(aix.null_syscall_us, mklinux.null_syscall_us);
+  EXPECT_LT(linux_opt.null_syscall_us, linux_base.null_syscall_us);
+
+  // Context switch: Linux fastest, Mach systems slowest.
+  EXPECT_LT(linux_opt.ctxsw_us, linux_base.ctxsw_us);
+  EXPECT_LT(linux_base.ctxsw_us, mklinux.ctxsw_us);
+  EXPECT_LT(linux_opt.ctxsw_us, aix.ctxsw_us);
+
+  // Pipe latency and bandwidth: same story.
+  EXPECT_LT(linux_opt.pipe_latency_us, linux_base.pipe_latency_us);
+  EXPECT_LT(linux_base.pipe_latency_us, mklinux.pipe_latency_us);
+  EXPECT_GT(linux_opt.pipe_bandwidth_mbs, linux_base.pipe_bandwidth_mbs);
+  EXPECT_GT(linux_opt.pipe_bandwidth_mbs, mklinux.pipe_bandwidth_mbs);
+  EXPECT_GT(linux_opt.pipe_bandwidth_mbs, rhapsody.pipe_bandwidth_mbs);
+
+  // Rhapsody's colocated server sits at or below MkLinux's cost on the syscall path.
+  EXPECT_LE(rhapsody.null_syscall_us, mklinux.null_syscall_us * 1.2);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,77 @@
+// PageAllocator tests: allocation, reference counting for COW, misuse detection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/pagetable/page_allocator.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(PageAllocatorTest, AllocatesDistinctFramesInRange) {
+  PageAllocator alloc(100, 10);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    const auto frame = alloc.Alloc();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_GE(*frame, 100u);
+    EXPECT_LT(*frame, 110u);
+    EXPECT_TRUE(seen.insert(*frame).second) << "duplicate frame " << *frame;
+  }
+  EXPECT_FALSE(alloc.Alloc().has_value());  // exhausted
+  EXPECT_EQ(alloc.FreeCount(), 0u);
+  EXPECT_EQ(alloc.AllocatedCount(), 10u);
+}
+
+TEST(PageAllocatorTest, LowFramesFirst) {
+  PageAllocator alloc(100, 10);
+  EXPECT_EQ(alloc.Alloc(), 100u);
+  EXPECT_EQ(alloc.Alloc(), 101u);
+}
+
+TEST(PageAllocatorTest, FreeingMakesFramesReusable) {
+  PageAllocator alloc(0, 2);
+  const uint32_t a = *alloc.Alloc();
+  const uint32_t b = *alloc.Alloc();
+  EXPECT_FALSE(alloc.Alloc().has_value());
+  EXPECT_TRUE(alloc.DecRef(a));
+  const auto again = alloc.Alloc();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, a);  // LIFO reuse
+  EXPECT_TRUE(alloc.DecRef(b));
+  EXPECT_TRUE(alloc.DecRef(*again));
+  EXPECT_EQ(alloc.FreeCount(), 2u);
+}
+
+TEST(PageAllocatorTest, RefCountingSharesFrames) {
+  PageAllocator alloc(0, 4);
+  const uint32_t frame = *alloc.Alloc();
+  EXPECT_EQ(alloc.RefCount(frame), 1u);
+  alloc.AddRef(frame);
+  alloc.AddRef(frame);
+  EXPECT_EQ(alloc.RefCount(frame), 3u);
+  EXPECT_FALSE(alloc.DecRef(frame));  // still shared
+  EXPECT_FALSE(alloc.DecRef(frame));
+  EXPECT_TRUE(alloc.DecRef(frame));  // last reference frees
+  EXPECT_EQ(alloc.RefCount(frame), 0u);
+}
+
+TEST(PageAllocatorTest, MisuseThrows) {
+  PageAllocator alloc(10, 4);
+  EXPECT_THROW(alloc.AddRef(9), CheckFailure);    // out of range
+  EXPECT_THROW(alloc.AddRef(14), CheckFailure);   // out of range
+  EXPECT_THROW(alloc.DecRef(10), CheckFailure);   // never allocated
+  const uint32_t frame = *alloc.Alloc();
+  EXPECT_THROW(alloc.AddRef(frame + 1), CheckFailure);  // unallocated in-range frame
+  alloc.DecRef(frame);
+  EXPECT_THROW(alloc.DecRef(frame), CheckFailure);  // double free
+}
+
+TEST(PageAllocatorTest, ZeroFramesRejected) {
+  EXPECT_THROW(PageAllocator(0, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,124 @@
+// Page cache tests: file lifecycle, deterministic contents, hit/miss accounting, eviction.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/mem_manager.h"
+#include "src/kernel/opt_config.h"
+#include "src/kernel/page_cache.h"
+#include "src/pagetable/page_allocator.h"
+#include "src/sim/check.h"
+#include "src/sim/machine.h"
+
+namespace ppcmm {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : machine(MachineConfig::Ppc604(185)),
+        allocator(512, 2048),
+        config(OptimizationConfig::Baseline()),
+        mem(machine, allocator, config),
+        cache(machine, mem) {}
+
+  Machine machine;
+  PageAllocator allocator;
+  OptimizationConfig config;
+  MemManager mem;
+  PageCache cache;
+};
+
+TEST(PageCacheTest, CreateAndSize) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(12);
+  EXPECT_EQ(f.cache.SizePages(file), 12u);
+  const FileId other = f.cache.CreateFile(3);
+  EXPECT_NE(file, other);
+  EXPECT_EQ(f.cache.SizePages(other), 3u);
+}
+
+TEST(PageCacheTest, FirstAccessMissesThenHits) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(4);
+  bool miss = false;
+  const uint32_t frame = f.cache.GetPage(file, 2, &miss);
+  EXPECT_TRUE(miss);
+  EXPECT_TRUE(f.allocator.IsAllocated(frame));
+  bool miss2 = true;
+  const uint32_t frame2 = f.cache.GetPage(file, 2, &miss2);
+  EXPECT_FALSE(miss2);
+  EXPECT_EQ(frame, frame2);
+  EXPECT_EQ(f.cache.cache_misses(), 1u);
+  EXPECT_EQ(f.cache.cache_hits(), 1u);
+}
+
+TEST(PageCacheTest, ContentsAreDeterministicPerFileAndPage) {
+  Fixture f;
+  const FileId a = f.cache.CreateFile(4);
+  const FileId b = f.cache.CreateFile(4);
+  const uint32_t fa = f.cache.GetPage(a, 1);
+  const uint32_t fb = f.cache.GetPage(b, 1);
+  const uint32_t word_a = f.machine.memory().Read32(PhysAddr::FromFrame(fa, 8));
+  const uint32_t word_b = f.machine.memory().Read32(PhysAddr::FromFrame(fb, 8));
+  EXPECT_EQ(word_a, (a.value * 0x9E3779B9u) ^ (1u << 16) ^ 8u);
+  EXPECT_EQ(word_b, (b.value * 0x9E3779B9u) ^ (1u << 16) ^ 8u);
+  EXPECT_NE(word_a, word_b);
+}
+
+TEST(PageCacheTest, ReadBeyondEofThrows) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(4);
+  EXPECT_THROW(f.cache.GetPage(file, 4), CheckFailure);
+  EXPECT_THROW(f.cache.GetPage(FileId{999}, 0), CheckFailure);
+}
+
+TEST(PageCacheTest, DeleteReleasesFrames) {
+  Fixture f;
+  const uint32_t free_before = f.allocator.FreeCount();
+  const FileId file = f.cache.CreateFile(6);
+  for (uint32_t p = 0; p < 6; ++p) {
+    f.cache.GetPage(file, p);
+  }
+  EXPECT_EQ(f.allocator.FreeCount(), free_before - 6);
+  f.cache.DeleteFile(file);
+  EXPECT_EQ(f.allocator.FreeCount(), free_before);
+  EXPECT_THROW(f.cache.SizePages(file), CheckFailure);
+}
+
+TEST(PageCacheTest, EvictFileKeepsTheFileButDropsPages) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(6);
+  f.cache.GetPage(file, 0);
+  f.cache.GetPage(file, 1);
+  EXPECT_EQ(f.cache.CachedPageCount(), 2u);
+  f.cache.EvictFile(file);
+  EXPECT_EQ(f.cache.CachedPageCount(), 0u);
+  EXPECT_FALSE(f.cache.IsCached(file, 0));
+  // Re-reading refills from "disk".
+  bool miss = false;
+  f.cache.GetPage(file, 0, &miss);
+  EXPECT_TRUE(miss);
+}
+
+TEST(PageCacheTest, ReclaimSkipsSharedFrames) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(4);
+  const uint32_t shared = f.cache.GetPage(file, 0);
+  f.cache.GetPage(file, 1);
+  f.allocator.AddRef(shared);  // "mapped" by someone
+  EXPECT_EQ(f.cache.ReclaimPages(10), 1u);
+  EXPECT_TRUE(f.cache.IsCached(file, 0));
+  EXPECT_FALSE(f.cache.IsCached(file, 1));
+  f.allocator.DecRef(shared);
+}
+
+TEST(PageCacheTest, LookupsChargeKernelTime) {
+  Fixture f;
+  const FileId file = f.cache.CreateFile(2);
+  f.cache.GetPage(file, 0);
+  const Cycles before = f.machine.Now();
+  f.cache.GetPage(file, 0);  // hit still pays the lookup
+  EXPECT_GT((f.machine.Now() - before).value, 0u);
+}
+
+}  // namespace
+}  // namespace ppcmm

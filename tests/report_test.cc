@@ -1,0 +1,43 @@
+// TextTable formatting tests.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/check.h"
+#include "src/workloads/report.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a much longer name", "2"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Both value cells start at the same column.
+  const size_t line1 = out.find("short");
+  const size_t line2 = out.find("a much longer name");
+  const size_t v1 = out.find('1', line1) - out.rfind('\n', out.find('1', line1));
+  const size_t v2 = out.find('2', line2) - out.rfind('\n', out.find('2', line2));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(TextTableTest, RejectsMisshapenRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only one"}), CheckFailure);
+  EXPECT_THROW(table.AddRow({"1", "2", "3"}), CheckFailure);
+}
+
+TEST(TextTableTest, Formatters) {
+  EXPECT_EQ(TextTable::Us(41.26), "41.3 us");
+  EXPECT_EQ(TextTable::Us(3240.4), "3240 us");
+  EXPECT_EQ(TextTable::Mbs(52.04), "52.0 MB/s");
+  EXPECT_EQ(TextTable::Pct(0.754), "75%");
+  EXPECT_EQ(TextTable::Num(1.856, 2), "1.86");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::Count(16384), "16384");
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,67 @@
+// Segment register tests: EA -> (VSID, page index) resolution and context-switch reloads.
+
+#include <gtest/gtest.h>
+
+#include "src/mmu/segment_regs.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(SegmentRegsTest, ResolveUsesTopFourBits) {
+  SegmentRegs regs;
+  regs.Set(4, Vsid(0xABCDEF));
+  const VirtPage vp = regs.Resolve(EffAddr(0x40012345));
+  EXPECT_EQ(vp.vsid, Vsid(0xABCDEF));
+  EXPECT_EQ(vp.page_index, 0x0012u);
+}
+
+TEST(SegmentRegsTest, SixteenIndependentRegisters) {
+  SegmentRegs regs;
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    regs.Set(i, Vsid(100 + i));
+  }
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    EXPECT_EQ(regs.Get(i), Vsid(100 + i));
+    EXPECT_EQ(regs.Resolve(EffAddr(i << kSegmentShift)).vsid, Vsid(100 + i));
+  }
+}
+
+TEST(SegmentRegsTest, LoadUserSegmentsPreservesKernelHalf) {
+  SegmentRegs regs;
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    regs.Set(i, Vsid(500 + i));
+  }
+  std::array<Vsid, kNumSegments> image{};
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    image[i] = Vsid(900 + i);
+  }
+  regs.LoadUserSegments(image);
+  for (uint32_t i = 0; i < kFirstKernelSegment; ++i) {
+    EXPECT_EQ(regs.Get(i), Vsid(900 + i)) << "user segment " << i;
+  }
+  for (uint32_t i = kFirstKernelSegment; i < kNumSegments; ++i) {
+    EXPECT_EQ(regs.Get(i), Vsid(500 + i)) << "kernel segment " << i;
+  }
+}
+
+TEST(SegmentRegsTest, LoadAllReplacesEverything) {
+  SegmentRegs regs;
+  std::array<Vsid, kNumSegments> image{};
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    image[i] = Vsid(7000 + i);
+  }
+  regs.LoadAll(image);
+  for (uint32_t i = 0; i < kNumSegments; ++i) {
+    EXPECT_EQ(regs.Get(i), Vsid(7000 + i));
+  }
+}
+
+TEST(SegmentRegsTest, OutOfRangeIndexThrows) {
+  SegmentRegs regs;
+  EXPECT_THROW(regs.Get(16), CheckFailure);
+  EXPECT_THROW(regs.Set(16, Vsid(1)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ppcmm

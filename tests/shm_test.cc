@@ -1,0 +1,160 @@
+// Shared-memory segment tests: MAP_SHARED semantics across address spaces and fork.
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+TaskId SpawnStd(Kernel& kernel, const char* name = "t") {
+  const TaskId id = kernel.CreateTask(name);
+  kernel.Exec(id, ExecImage{.text_pages = 4, .data_pages = 32, .stack_pages = 2});
+  kernel.SwitchTo(id);
+  return id;
+}
+
+TEST(ShmTest, CreateAttachWriteRead) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId a = SpawnStd(kernel, "a");
+  const TaskId b = SpawnStd(kernel, "b");
+
+  kernel.SwitchTo(a);
+  const uint32_t shm = kernel.ShmCreate(4);
+  const uint32_t start_a = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start_a, 0x10), AccessKind::kStore);
+  const uint32_t frame_a =
+      kernel.task(a).mm->page_table->LookupQuiet(EffAddr::FromPage(start_a))->frame;
+  sys.machine().memory().Write32(PhysAddr::FromFrame(frame_a, 0x10), 0xCAFED00D);
+
+  kernel.SwitchTo(b);
+  const uint32_t start_b = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start_b, 0x10), AccessKind::kLoad);
+  const uint32_t frame_b =
+      kernel.task(b).mm->page_table->LookupQuiet(EffAddr::FromPage(start_b))->frame;
+  EXPECT_EQ(frame_a, frame_b);  // the same physical frame, in two address spaces
+  EXPECT_EQ(sys.machine().memory().Read32(PhysAddr::FromFrame(frame_b, 0x10)), 0xCAFED00Du);
+  // And B can write it — shared mappings are never COW.
+  kernel.UserTouch(EffAddr::FromPage(start_b, 0x20), AccessKind::kStore);
+}
+
+TEST(ShmTest, SegmentPagesStartZeroed) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const uint32_t shm = kernel.ShmCreate(2);
+  const uint32_t start = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kLoad);
+  const uint32_t frame =
+      kernel.task(kernel.current()).mm->page_table->LookupQuiet(EffAddr::FromPage(start))->frame;
+  EXPECT_TRUE(sys.machine().memory().FrameIsZero(frame));
+}
+
+TEST(ShmTest, ForkSharesWithoutCow) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId parent = SpawnStd(kernel, "p");
+  const uint32_t shm = kernel.ShmCreate(2);
+  const uint32_t start = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+  const uint32_t frame =
+      kernel.task(parent).mm->page_table->LookupQuiet(EffAddr::FromPage(start))->frame;
+
+  const TaskId child = kernel.Fork(parent);
+  kernel.SwitchTo(child);
+  // The child's store lands in the same frame — no COW fault, no copy.
+  const HwCounters before = sys.counters();
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+  EXPECT_EQ(sys.counters().Diff(before).page_faults, 0u);
+  const auto child_pte = kernel.task(child).mm->page_table->LookupQuiet(EffAddr::FromPage(start));
+  EXPECT_EQ(child_pte->frame, frame);
+  EXPECT_TRUE(child_pte->writable);
+  // The parent's anon heap is still COW-protected as usual.
+  const auto parent_heap = kernel.task(parent).mm->page_table->LookupQuiet(
+      EffAddr(kUserDataBase));
+  kernel.Exit(child);
+  kernel.Exit(parent);
+  (void)parent_heap;
+}
+
+TEST(ShmTest, DetachReleasesMappingButKeepsSegment) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const uint32_t shm = kernel.ShmCreate(4);
+  const uint32_t start = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start, 8), AccessKind::kStore);
+  const uint32_t frame = kernel.task(kernel.current())
+                             .mm->page_table->LookupQuiet(EffAddr::FromPage(start))
+                             ->frame;
+  sys.machine().memory().Write32(PhysAddr::FromFrame(frame, 8), 0x12345678);
+
+  kernel.ShmDetach(start, 4);
+  EXPECT_THROW(kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kLoad), CheckFailure);
+
+  // Re-attach: the contents survived the detach (the segment owns the frames).
+  const uint32_t start2 = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start2), AccessKind::kLoad);
+  const uint32_t frame2 = kernel.task(kernel.current())
+                              .mm->page_table->LookupQuiet(EffAddr::FromPage(start2))
+                              ->frame;
+  EXPECT_EQ(frame2, frame);
+  EXPECT_EQ(sys.machine().memory().Read32(PhysAddr::FromFrame(frame2, 8)), 0x12345678u);
+}
+
+TEST(ShmTest, DestroyReturnsMemory) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const uint32_t free_before = kernel.allocator().FreeCount();
+  const uint32_t shm = kernel.ShmCreate(16);
+  EXPECT_EQ(kernel.allocator().FreeCount(), free_before - 16);
+  const uint32_t start = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+  kernel.ShmDetach(start, 16);
+  kernel.ShmDestroy(shm);
+  // One frame short: faulting the mapping allocated a PTE directory page for the mmap
+  // region, which lives until the task exits (page tables are per-task, not per-mapping).
+  EXPECT_EQ(kernel.allocator().FreeCount(), free_before - 1);
+  EXPECT_THROW(kernel.ShmAttach(shm), CheckFailure);
+  // After the task exits, everything is back — plus the task's own PGD frame, which was
+  // already allocated when free_before was snapshotted.
+  const TaskId t = kernel.current();
+  kernel.Exit(t);
+  EXPECT_EQ(kernel.allocator().FreeCount(), free_before + 1);
+}
+
+TEST(ShmTest, DestroyWhileAttachedThrows) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  SpawnStd(kernel);
+  const uint32_t shm = kernel.ShmCreate(2);
+  kernel.ShmAttach(shm);
+  EXPECT_THROW(kernel.ShmDestroy(shm), CheckFailure);
+}
+
+TEST(ShmTest, LazyFlushKeepsSharedMappingsCoherent) {
+  // A context flush (mmap cutoff) must not leave stale shm translations behind.
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = SpawnStd(kernel);
+  const uint32_t shm = kernel.ShmCreate(2);
+  const uint32_t start = kernel.ShmAttach(shm);
+  kernel.UserTouch(EffAddr::FromPage(start), AccessKind::kStore);
+
+  // Trigger a whole-context flush via a big munmap.
+  const uint32_t big = kernel.Mmap(64);
+  kernel.Munmap(big, 64);
+  // The shm mapping still resolves to the segment's frame.
+  kernel.UserTouch(EffAddr::FromPage(start, 4), AccessKind::kLoad);
+  const auto pa = sys.mmu().Probe(EffAddr::FromPage(start), AccessKind::kLoad);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(pa->PageFrame(),
+            kernel.task(t).mm->page_table->LookupQuiet(EffAddr::FromPage(start))->frame);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,100 @@
+// System facade and statistics tests.
+
+#include <gtest/gtest.h>
+
+#include "src/core/stats.h"
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(SystemTest, ConstructionWiresEverything) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  EXPECT_EQ(sys.machine_config().clock_mhz, 185u);
+  EXPECT_TRUE(sys.opt_config().lazy_context_flush);
+  EXPECT_EQ(sys.mmu().htab().capacity(), 16384u);
+  EXPECT_EQ(sys.ElapsedMicros(), 0.0);
+}
+
+TEST(SystemTest, TimeMicrosMeasuresOnlyTheBody) {
+  System sys(MachineConfig::Ppc604(200), OptimizationConfig::Baseline());
+  sys.machine().AddCycles(Cycles(12345));  // pre-existing time
+  const double us = sys.TimeMicros([&] { sys.machine().AddCycles(Cycles(2000)); });
+  EXPECT_DOUBLE_EQ(us, 10.0);
+}
+
+TEST(SystemTest, CountersForDiffsTheInterval) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("t");
+  kernel.Exec(t, ExecImage{});
+  kernel.SwitchTo(t);
+  const HwCounters delta = sys.CountersFor([&] {
+    kernel.NullSyscall();
+    kernel.NullSyscall();
+  });
+  EXPECT_EQ(delta.syscalls, 2u);
+}
+
+TEST(SystemTest, StatsReflectHtabAndTlbState) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::Baseline());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("t");
+  kernel.Exec(t, ExecImage{});
+  kernel.SwitchTo(t);
+  const HwCounters interval = sys.CountersFor([&] {
+    kernel.UserTouchRange(EffAddr(kUserDataBase), 8 * kPageSize, kPageSize,
+                          AccessKind::kStore);
+  });
+  const SystemStats stats = ComputeStats(sys, interval);
+  EXPECT_EQ(stats.htab_capacity, 16384u);
+  EXPECT_GT(stats.htab_valid, 0u);
+  EXPECT_GT(stats.htab_utilization, 0.0);
+  EXPECT_GT(stats.tlb_valid_entries, 0u);
+  // Baseline kernel (no BATs): kernel pages occupy TLB entries.
+  EXPECT_GT(stats.tlb_kernel_entries, 0u);
+  EXPECT_GT(stats.tlb_kernel_share, 0.0);
+  EXPECT_GT(stats.kernel_tlb_highwater, 0u);
+  // Histogram sums to the PTEG count.
+  uint32_t ptegs = 0;
+  for (uint32_t h : stats.pteg_occupancy_histogram) {
+    ptegs += h;
+  }
+  EXPECT_EQ(ptegs, 2048u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(SystemTest, DescribeMentionsToggles) {
+  const std::string desc = OptimizationConfig::AllOptimizations().Describe();
+  EXPECT_NE(desc.find("lazy_flush=1"), std::string::npos);
+  EXPECT_NE(desc.find("scatter=897"), std::string::npos);
+}
+
+// Preset sanity: each "Only..." preset differs from the baseline in its one dimension.
+TEST(SystemTest, PresetsAreSingleToggles) {
+  const OptimizationConfig base = OptimizationConfig::Baseline();
+  EXPECT_FALSE(base.kernel_bat_mapping);
+  EXPECT_EQ(base.vsid_scatter, kNaiveVsidScatter);
+  EXPECT_TRUE(OptimizationConfig::OnlyBatMapping().kernel_bat_mapping);
+  EXPECT_EQ(OptimizationConfig::OnlyTunedScatter().vsid_scatter, kDefaultVsidScatter);
+  EXPECT_TRUE(OptimizationConfig::OnlyFastHandlers().optimized_handlers);
+  EXPECT_TRUE(OptimizationConfig::OnlyDirectReload().no_htab_direct_reload);
+  EXPECT_TRUE(OptimizationConfig::OnlyLazyFlush().lazy_context_flush);
+  EXPECT_EQ(OptimizationConfig::OnlyLazyFlush().range_flush_cutoff, 20u);
+  EXPECT_TRUE(OptimizationConfig::OnlyIdleReclaim().idle_zombie_reclaim);
+  EXPECT_TRUE(OptimizationConfig::OnlyUncachedPageTables().uncached_page_tables);
+  EXPECT_EQ(OptimizationConfig::OnlyIdleZero(IdleZeroPolicy::kCached).idle_zero,
+            IdleZeroPolicy::kCached);
+  const OptimizationConfig all = OptimizationConfig::AllOptimizations();
+  EXPECT_TRUE(all.kernel_bat_mapping && all.optimized_handlers && all.no_htab_direct_reload &&
+              all.lazy_context_flush && all.idle_zombie_reclaim);
+  // §8 was analysis, not a shipped change: the paper's final kernel kept cached page tables.
+  EXPECT_FALSE(all.uncached_page_tables);
+  EXPECT_TRUE(OptimizationConfig::AllPlusUncachedPageTables().uncached_page_tables);
+  EXPECT_EQ(all.range_flush_cutoff, 20u);
+  EXPECT_EQ(all.idle_zero, IdleZeroPolicy::kUncachedWithList);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,112 @@
+// Trace buffer tests: ring behaviour, event recording from the MMU/kernel paths.
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/sim/trace.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(TraceBufferTest, DisabledByDefault) {
+  TraceBuffer trace(16);
+  trace.Record(1, TraceEvent::kTlbMiss, 2, 3);
+  EXPECT_EQ(trace.TotalRecorded(), 0u);
+  EXPECT_TRUE(trace.Records().empty());
+}
+
+TEST(TraceBufferTest, RecordsInOrder) {
+  TraceBuffer trace(16);
+  trace.Enable();
+  trace.Record(10, TraceEvent::kTlbMiss, 0x100);
+  trace.Record(20, TraceEvent::kPageFault, 0x200);
+  trace.Record(30, TraceEvent::kContextSwitch, 1, 2);
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].cycle, 10u);
+  EXPECT_EQ(records[0].event, TraceEvent::kTlbMiss);
+  EXPECT_EQ(records[1].a, 0x200u);
+  EXPECT_EQ(records[2].b, 2u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::kTlbMiss), 1u);
+  EXPECT_EQ(trace.CountOf(TraceEvent::kSyscall), 0u);
+}
+
+TEST(TraceBufferTest, RingKeepsTheMostRecent) {
+  TraceBuffer trace(4);
+  trace.Enable();
+  for (uint32_t i = 0; i < 10; ++i) {
+    trace.Record(i, TraceEvent::kSyscall, i);
+  }
+  EXPECT_EQ(trace.TotalRecorded(), 10u);
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().a, 6u);
+  EXPECT_EQ(records.back().a, 9u);
+}
+
+TEST(TraceBufferTest, DumpAndClear) {
+  TraceBuffer trace(8);
+  trace.Enable();
+  trace.Record(123, TraceEvent::kFlushContext, 7, 8);
+  const std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("flush_context"), std::string::npos);
+  EXPECT_NE(dump.find("123"), std::string::npos);
+  trace.Clear();
+  EXPECT_EQ(trace.TotalRecorded(), 0u);
+  EXPECT_TRUE(trace.Records().empty());
+}
+
+TEST(TraceBufferTest, EveryEventHasAName) {
+  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kDirtyBitUpdate); ++e) {
+    EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(e)), "unknown");
+  }
+}
+
+TEST(TraceIntegrationTest, KernelActivityProducesTheExpectedStream) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::OnlyLazyFlush(20));
+  sys.machine().trace().Enable();
+  Kernel& kernel = sys.kernel();
+  const TaskId a = kernel.CreateTask("a");
+  const TaskId b = kernel.CreateTask("b");
+  kernel.Exec(a, ExecImage{});
+  kernel.Exec(b, ExecImage{});
+  kernel.SwitchTo(a);
+  kernel.NullSyscall();
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);  // fault + tlb misses
+  kernel.SwitchTo(b);
+  const uint32_t start = kernel.Mmap(40);
+  for (uint32_t i = 0; i < 40; ++i) {
+    kernel.UserTouch(EffAddr::FromPage(start + i), AccessKind::kStore);
+  }
+  kernel.Munmap(start, 40);  // above the cutoff: a context flush
+  kernel.RunIdle(Cycles(5000));
+
+  TraceBuffer& trace = sys.machine().trace();
+  EXPECT_GT(trace.CountOf(TraceEvent::kSyscall), 0u);
+  EXPECT_GT(trace.CountOf(TraceEvent::kPageFault), 40u);
+  EXPECT_GT(trace.CountOf(TraceEvent::kTlbMiss), 40u);
+  EXPECT_GE(trace.CountOf(TraceEvent::kContextSwitch), 2u);
+  EXPECT_GE(trace.CountOf(TraceEvent::kFlushContext), 1u);
+  EXPECT_GE(trace.CountOf(TraceEvent::kIdleSlice), 1u);
+  // Cycle stamps are monotonic.
+  const auto records = trace.Records();
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].cycle, records[i].cycle);
+  }
+}
+
+TEST(TraceIntegrationTest, DeferredDirtySchemeTracesUpdates) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::Baseline());
+  sys.machine().trace().Enable();
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("t");
+  kernel.Exec(t, ExecImage{});
+  kernel.SwitchTo(t);
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kLoad);
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);
+  EXPECT_GE(sys.machine().trace().CountOf(TraceEvent::kDirtyBitUpdate), 1u);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,121 @@
+// VMA list tests: insertion, lookup, range removal with splitting, gap finding.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/vma.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+Vma Anon(uint32_t start, uint32_t end, bool writable = true) {
+  return Vma{.start_page = start, .end_page = end, .writable = writable,
+             .backing = VmaBacking::kAnonymous};
+}
+
+TEST(VmaListTest, InsertAndFind) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  EXPECT_TRUE(vmas.Find(100).has_value());
+  EXPECT_TRUE(vmas.Find(109).has_value());
+  EXPECT_FALSE(vmas.Find(110).has_value());
+  EXPECT_FALSE(vmas.Find(99).has_value());
+  EXPECT_EQ(vmas.Count(), 1u);
+  EXPECT_EQ(vmas.TotalPages(), 10u);
+}
+
+TEST(VmaListTest, OverlappingInsertThrows) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  EXPECT_THROW(vmas.Insert(Anon(105, 115)), CheckFailure);
+  EXPECT_THROW(vmas.Insert(Anon(95, 101)), CheckFailure);
+  EXPECT_THROW(vmas.Insert(Anon(100, 110)), CheckFailure);
+  EXPECT_THROW(vmas.Insert(Anon(90, 120)), CheckFailure);
+  EXPECT_NO_THROW(vmas.Insert(Anon(110, 120)));  // adjacent is fine
+  EXPECT_NO_THROW(vmas.Insert(Anon(90, 100)));
+  EXPECT_THROW(vmas.Insert(Anon(50, 50)), CheckFailure);  // empty
+}
+
+TEST(VmaListTest, RemoveWholeVma) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  EXPECT_EQ(vmas.Remove(100, 10), 10u);
+  EXPECT_EQ(vmas.Count(), 0u);
+}
+
+TEST(VmaListTest, RemoveSplitsMiddle) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 120));
+  EXPECT_EQ(vmas.Remove(105, 5), 5u);
+  EXPECT_EQ(vmas.Count(), 2u);
+  EXPECT_TRUE(vmas.Find(104).has_value());
+  EXPECT_FALSE(vmas.Find(105).has_value());
+  EXPECT_FALSE(vmas.Find(109).has_value());
+  EXPECT_TRUE(vmas.Find(110).has_value());
+  EXPECT_EQ(vmas.TotalPages(), 15u);
+}
+
+TEST(VmaListTest, RemoveTrimsEdges) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 120));
+  EXPECT_EQ(vmas.Remove(95, 10), 5u);  // trims the left edge
+  EXPECT_FALSE(vmas.Find(104).has_value());
+  EXPECT_TRUE(vmas.Find(105).has_value());
+  EXPECT_EQ(vmas.Remove(115, 10), 5u);  // trims the right edge
+  EXPECT_TRUE(vmas.Find(114).has_value());
+  EXPECT_FALSE(vmas.Find(115).has_value());
+  EXPECT_EQ(vmas.TotalPages(), 10u);
+}
+
+TEST(VmaListTest, RemoveSpansMultipleVmas) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  vmas.Insert(Anon(120, 130));
+  vmas.Insert(Anon(140, 150));
+  EXPECT_EQ(vmas.Remove(105, 40), 5u + 10u + 5u);  // [105,145)
+  EXPECT_EQ(vmas.Count(), 2u);
+  EXPECT_TRUE(vmas.Find(100).has_value());
+  EXPECT_FALSE(vmas.Find(125).has_value());
+  EXPECT_TRUE(vmas.Find(145).has_value());
+}
+
+TEST(VmaListTest, FileBackedSplitAdjustsOffset) {
+  VmaList vmas;
+  vmas.Insert(Vma{.start_page = 100, .end_page = 120, .writable = false,
+                  .backing = VmaBacking::kFile, .file_id = 7, .file_page_offset = 0});
+  vmas.Remove(100, 5);
+  const auto right = vmas.Find(105);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->file_page_offset, 5u);
+  EXPECT_EQ(right->file_id, 7u);
+}
+
+TEST(VmaListTest, RangeIsFree) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  EXPECT_TRUE(vmas.RangeIsFree(90, 10));
+  EXPECT_TRUE(vmas.RangeIsFree(110, 10));
+  EXPECT_FALSE(vmas.RangeIsFree(90, 11));
+  EXPECT_FALSE(vmas.RangeIsFree(105, 1));
+  EXPECT_FALSE(vmas.RangeIsFree(109, 5));
+}
+
+TEST(VmaListTest, FindFreeRangeSkipsMappedRegions) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  vmas.Insert(Anon(112, 120));
+  EXPECT_EQ(vmas.FindFreeRange(100, 2), 110u);  // gap between the two
+  EXPECT_EQ(vmas.FindFreeRange(100, 5), 120u);  // gap too small, goes past the second
+  EXPECT_EQ(vmas.FindFreeRange(50, 10), 50u);   // hint itself is free
+  EXPECT_EQ(vmas.FindFreeRange(105, 1), 110u);  // hint inside a VMA
+}
+
+TEST(VmaListTest, RemoveOutsideAnythingIsNoop) {
+  VmaList vmas;
+  vmas.Insert(Anon(100, 110));
+  EXPECT_EQ(vmas.Remove(200, 50), 0u);
+  EXPECT_EQ(vmas.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace ppcmm

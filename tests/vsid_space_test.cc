@@ -1,0 +1,123 @@
+// VSID space tests: context allocation, scatter, retirement (zombies), kernel VSIDs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/kernel/vsid_space.h"
+#include "src/sim/check.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(VsidSpaceTest, ContextsAreMonotonic) {
+  VsidSpace vsids;
+  const ContextId a = vsids.NewContext();
+  const ContextId b = vsids.NewContext();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(vsids.LiveContextCount(), 2u);
+}
+
+TEST(VsidSpaceTest, UserVsidsDistinctAcrossSegmentsAndContexts) {
+  VsidSpace vsids(kDefaultVsidScatter);
+  std::set<uint32_t> seen;
+  for (int c = 0; c < 64; ++c) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      EXPECT_TRUE(seen.insert(vsids.UserVsid(ctx, seg).value).second)
+          << "collision at context " << ctx.value << " segment " << seg;
+    }
+  }
+}
+
+TEST(VsidSpaceTest, LivenessFollowsRetirement) {
+  VsidSpace vsids;
+  const ContextId ctx = vsids.NewContext();
+  const Vsid v = vsids.UserVsid(ctx, 0);
+  EXPECT_TRUE(vsids.IsLive(v));
+  vsids.Retire(ctx);
+  EXPECT_FALSE(vsids.IsLive(v));
+  EXPECT_EQ(vsids.LiveContextCount(), 0u);
+  // Retiring twice is harmless.
+  vsids.Retire(ctx);
+}
+
+TEST(VsidSpaceTest, RetiredVsidsAreNeverReissuedSoon) {
+  // The lazy-flush correctness condition: a zombie VSID must not match a live context.
+  VsidSpace vsids;
+  std::set<uint32_t> retired;
+  for (int i = 0; i < 1000; ++i) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      const uint32_t v = vsids.UserVsid(ctx, seg).value;
+      EXPECT_FALSE(retired.contains(v)) << "VSID " << v << " reused while zombie";
+    }
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      retired.insert(vsids.UserVsid(ctx, seg).value);
+    }
+    vsids.Retire(ctx);
+  }
+}
+
+TEST(VsidSpaceTest, KernelVsidsAlwaysLive) {
+  VsidSpace vsids;
+  for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
+    const Vsid v = VsidSpace::KernelVsid(seg);
+    EXPECT_TRUE(VsidSpace::IsKernelVsid(v));
+    EXPECT_TRUE(vsids.IsLive(v));
+  }
+  EXPECT_FALSE(VsidSpace::IsKernelVsid(Vsid(0x1234)));
+  EXPECT_THROW(VsidSpace::KernelVsid(0), CheckFailure);
+  EXPECT_THROW(VsidSpace::KernelVsid(16), CheckFailure);
+}
+
+TEST(VsidSpaceTest, SegmentImageMixesUserAndKernel) {
+  VsidSpace vsids;
+  const ContextId ctx = vsids.NewContext();
+  const auto image = vsids.SegmentImage(ctx);
+  for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+    EXPECT_EQ(image[seg], vsids.UserVsid(ctx, seg));
+  }
+  for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
+    EXPECT_EQ(image[seg], VsidSpace::KernelVsid(seg));
+  }
+}
+
+TEST(VsidSpaceTest, UserVsidsNeverCollideWithKernelVsids) {
+  VsidSpace vsids;
+  for (int i = 0; i < 4096; ++i) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      EXPECT_FALSE(VsidSpace::IsKernelVsid(vsids.UserVsid(ctx, seg)));
+    }
+    vsids.Retire(ctx);
+  }
+}
+
+TEST(VsidSpaceTest, OutOfRangeSegmentThrows) {
+  VsidSpace vsids;
+  const ContextId ctx = vsids.NewContext();
+  EXPECT_THROW(vsids.UserVsid(ctx, kFirstKernelSegment), CheckFailure);
+  EXPECT_THROW(VsidSpace(0), CheckFailure);
+}
+
+// The scatter sweep: any constant must produce distinct VSIDs for modest context counts;
+// quality (hash spread) is measured by bench/sec5_hash_utilization, not asserted here.
+class ScatterSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ScatterSweep, NoCollisionsForModestContextCounts) {
+  VsidSpace vsids(GetParam());
+  std::set<uint32_t> seen;
+  for (int c = 0; c < 128; ++c) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      EXPECT_TRUE(seen.insert(vsids.UserVsid(ctx, seg).value).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Constants, ScatterSweep,
+                         ::testing::Values(1u, 16u, 111u, 897u, 1009u));
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,98 @@
+// Workload-driver tests: the X-server and multiuser workloads complete, clean up, and show
+// the expected optimization sensitivity.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/multiuser.h"
+#include "src/workloads/xserver.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(XServerWorkloadTest, RunsAndCleansUp) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  XServerConfig config;
+  config.clients = 2;
+  config.requests_per_client = 8;
+  config.pages_per_draw = 16;
+  const uint32_t free_before = sys.kernel().allocator().FreeCount();
+  const XServerResult result = RunXServerWorkload(sys, config);
+  EXPECT_EQ(result.draws, 16u);  // 100% draw rate
+  EXPECT_GT(result.counters.syscalls, 0u);
+  EXPECT_GT(result.counters.context_switches, 0u);
+  EXPECT_EQ(sys.kernel().TaskCount(), 0u);
+  // Pipes keep their buffers; everything else must be back.
+  EXPECT_GE(sys.kernel().allocator().FreeCount() + 8, free_before);
+}
+
+TEST(XServerWorkloadTest, DrawPercentControlsFramebufferTraffic) {
+  System never(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  System always(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  XServerConfig config;
+  config.clients = 2;
+  config.requests_per_client = 10;
+  config.draw_percent = 0;
+  const XServerResult none = RunXServerWorkload(never, config);
+  config.draw_percent = 100;
+  const XServerResult all = RunXServerWorkload(always, config);
+  EXPECT_EQ(none.draws, 0u);
+  EXPECT_EQ(all.draws, 20u);
+  EXPECT_GT(all.counters.page_faults, none.counters.page_faults);
+}
+
+TEST(XServerWorkloadTest, FramebufferBatRemovesDrawTlbMisses) {
+  OptimizationConfig bat = OptimizationConfig::AllOptimizations();
+  bat.framebuffer_bat = true;
+  System with_bat(MachineConfig::Ppc604(185), bat);
+  System without(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  XServerConfig config;
+  config.clients = 2;
+  config.requests_per_client = 10;
+  config.pages_per_draw = 48;
+  const XServerResult rb = RunXServerWorkload(with_bat, config);
+  const XServerResult rn = RunXServerWorkload(without, config);
+  EXPECT_LT(rb.counters.dtlb_misses, rn.counters.dtlb_misses / 2);
+  EXPECT_LT(rb.seconds, rn.seconds);
+}
+
+TEST(MultiuserWorkloadTest, RunsAllActivityKindsAndCleansUp) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  MultiuserConfig config;
+  config.users = 4;  // with 4 users every round covers all four activity kinds
+  config.rounds = 4;
+  const KernelCostModel costs;
+  const MultiuserResult result = RunMultiuserWorkload(sys, config);
+  EXPECT_EQ(result.operations, 16u);
+  EXPECT_GT(result.ops_per_second, 0.0);
+  EXPECT_GT(result.counters.context_switches, 16u);  // compiles/shell fork and switch
+  EXPECT_GT(result.counters.page_faults, 50u);
+  EXPECT_GT(result.counters.idle_invocations, 0u);
+  EXPECT_EQ(sys.kernel().TaskCount(), 0u);
+  (void)costs;
+}
+
+TEST(MultiuserWorkloadTest, DeterministicForFixedSeed) {
+  MultiuserConfig config;
+  config.users = 2;
+  config.rounds = 3;
+  System a(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  System b(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  const MultiuserResult ra = RunMultiuserWorkload(a, config);
+  const MultiuserResult rb = RunMultiuserWorkload(b, config);
+  EXPECT_EQ(ra.counters.cycles, rb.counters.cycles);
+  EXPECT_EQ(ra.counters.page_faults, rb.counters.page_faults);
+}
+
+TEST(MultiuserWorkloadTest, OptimizedKernelWins) {
+  MultiuserConfig config;
+  config.users = 3;
+  config.rounds = 3;
+  System base(MachineConfig::Ppc604(133), OptimizationConfig::Baseline());
+  System opt(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  const MultiuserResult rb = RunMultiuserWorkload(base, config);
+  const MultiuserResult ro = RunMultiuserWorkload(opt, config);
+  EXPECT_GT(ro.ops_per_second, rb.ops_per_second);
+}
+
+}  // namespace
+}  // namespace ppcmm
