@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interactions.dir/ablation_interactions.cc.o"
+  "CMakeFiles/ablation_interactions.dir/ablation_interactions.cc.o.d"
+  "ablation_interactions"
+  "ablation_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

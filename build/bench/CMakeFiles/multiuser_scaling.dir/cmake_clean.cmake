@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_scaling.dir/multiuser_scaling.cc.o"
+  "CMakeFiles/multiuser_scaling.dir/multiuser_scaling.cc.o.d"
+  "multiuser_scaling"
+  "multiuser_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

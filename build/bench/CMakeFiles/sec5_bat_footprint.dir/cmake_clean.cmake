@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_bat_footprint.dir/sec5_bat_footprint.cc.o"
+  "CMakeFiles/sec5_bat_footprint.dir/sec5_bat_footprint.cc.o.d"
+  "sec5_bat_footprint"
+  "sec5_bat_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_bat_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

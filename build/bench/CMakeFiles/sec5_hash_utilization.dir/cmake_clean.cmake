@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_hash_utilization.dir/sec5_hash_utilization.cc.o"
+  "CMakeFiles/sec5_hash_utilization.dir/sec5_hash_utilization.cc.o.d"
+  "sec5_hash_utilization"
+  "sec5_hash_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_hash_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_io_bat.dir/sec5_io_bat.cc.o"
+  "CMakeFiles/sec5_io_bat.dir/sec5_io_bat.cc.o.d"
+  "sec5_io_bat"
+  "sec5_io_bat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_io_bat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

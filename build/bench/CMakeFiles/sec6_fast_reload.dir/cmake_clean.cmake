@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_fast_reload.dir/sec6_fast_reload.cc.o"
+  "CMakeFiles/sec6_fast_reload.dir/sec6_fast_reload.cc.o.d"
+  "sec6_fast_reload"
+  "sec6_fast_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_fast_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

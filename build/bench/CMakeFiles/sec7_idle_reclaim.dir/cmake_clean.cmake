@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_idle_reclaim.dir/sec7_idle_reclaim.cc.o"
+  "CMakeFiles/sec7_idle_reclaim.dir/sec7_idle_reclaim.cc.o.d"
+  "sec7_idle_reclaim"
+  "sec7_idle_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_idle_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

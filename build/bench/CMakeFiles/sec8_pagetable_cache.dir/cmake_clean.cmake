@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_pagetable_cache.dir/sec8_pagetable_cache.cc.o"
+  "CMakeFiles/sec8_pagetable_cache.dir/sec8_pagetable_cache.cc.o.d"
+  "sec8_pagetable_cache"
+  "sec8_pagetable_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_pagetable_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_idle_page_clear.dir/sec9_idle_page_clear.cc.o"
+  "CMakeFiles/sec9_idle_page_clear.dir/sec9_idle_page_clear.cc.o.d"
+  "sec9_idle_page_clear"
+  "sec9_idle_page_clear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_idle_page_clear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

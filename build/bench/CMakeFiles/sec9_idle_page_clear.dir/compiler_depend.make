@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec9_idle_page_clear.
+# This may be replaced when dependencies are built.

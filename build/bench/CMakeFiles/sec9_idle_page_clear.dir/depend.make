@@ -1,0 +1,2 @@
+# Empty dependencies file for sec9_idle_page_clear.
+# This may be replaced when dependencies are built.

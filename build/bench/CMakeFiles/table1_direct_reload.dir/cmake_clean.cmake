@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_direct_reload.dir/table1_direct_reload.cc.o"
+  "CMakeFiles/table1_direct_reload.dir/table1_direct_reload.cc.o.d"
+  "table1_direct_reload"
+  "table1_direct_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_direct_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_range_flush.dir/table2_range_flush.cc.o"
+  "CMakeFiles/table2_range_flush.dir/table2_range_flush.cc.o.d"
+  "table2_range_flush"
+  "table2_range_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_range_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_compile_sim.dir/kernel_compile_sim.cpp.o"
+  "CMakeFiles/kernel_compile_sim.dir/kernel_compile_sim.cpp.o.d"
+  "kernel_compile_sim"
+  "kernel_compile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_compile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

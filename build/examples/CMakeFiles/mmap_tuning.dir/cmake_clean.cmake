@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_tuning.dir/mmap_tuning.cpp.o"
+  "CMakeFiles/mmap_tuning.dir/mmap_tuning.cpp.o.d"
+  "mmap_tuning"
+  "mmap_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

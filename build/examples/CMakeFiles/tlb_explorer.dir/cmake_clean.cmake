@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_explorer.dir/tlb_explorer.cpp.o"
+  "CMakeFiles/tlb_explorer.dir/tlb_explorer.cpp.o.d"
+  "tlb_explorer"
+  "tlb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

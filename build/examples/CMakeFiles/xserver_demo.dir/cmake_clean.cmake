@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xserver_demo.dir/xserver_demo.cpp.o"
+  "CMakeFiles/xserver_demo.dir/xserver_demo.cpp.o.d"
+  "xserver_demo"
+  "xserver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xserver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

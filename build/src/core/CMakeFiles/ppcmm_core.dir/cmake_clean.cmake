@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_core.dir/stats.cc.o"
+  "CMakeFiles/ppcmm_core.dir/stats.cc.o.d"
+  "libppcmm_core.a"
+  "libppcmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

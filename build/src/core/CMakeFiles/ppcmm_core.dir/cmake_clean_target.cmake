@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppcmm_core.a"
+)

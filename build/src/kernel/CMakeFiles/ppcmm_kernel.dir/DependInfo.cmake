@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/flush.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/flush.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/flush.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/mem_manager.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/mem_manager.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/mem_manager.cc.o.d"
+  "/root/repo/src/kernel/opt_config.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/opt_config.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/opt_config.cc.o.d"
+  "/root/repo/src/kernel/page_cache.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/page_cache.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/page_cache.cc.o.d"
+  "/root/repo/src/kernel/vma.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/vma.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/vma.cc.o.d"
+  "/root/repo/src/kernel/vsid_space.cc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/vsid_space.cc.o" "gcc" "src/kernel/CMakeFiles/ppcmm_kernel.dir/vsid_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppcmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ppcmm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagetable/CMakeFiles/ppcmm_pagetable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_kernel.dir/flush.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/flush.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/kernel.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/mem_manager.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/mem_manager.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/opt_config.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/opt_config.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/page_cache.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/page_cache.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/vma.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/vma.cc.o.d"
+  "CMakeFiles/ppcmm_kernel.dir/vsid_space.cc.o"
+  "CMakeFiles/ppcmm_kernel.dir/vsid_space.cc.o.d"
+  "libppcmm_kernel.a"
+  "libppcmm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

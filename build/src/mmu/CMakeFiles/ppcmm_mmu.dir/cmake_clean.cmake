@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_mmu.dir/bat.cc.o"
+  "CMakeFiles/ppcmm_mmu.dir/bat.cc.o.d"
+  "CMakeFiles/ppcmm_mmu.dir/hash_table.cc.o"
+  "CMakeFiles/ppcmm_mmu.dir/hash_table.cc.o.d"
+  "CMakeFiles/ppcmm_mmu.dir/mmu.cc.o"
+  "CMakeFiles/ppcmm_mmu.dir/mmu.cc.o.d"
+  "CMakeFiles/ppcmm_mmu.dir/tlb.cc.o"
+  "CMakeFiles/ppcmm_mmu.dir/tlb.cc.o.d"
+  "libppcmm_mmu.a"
+  "libppcmm_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

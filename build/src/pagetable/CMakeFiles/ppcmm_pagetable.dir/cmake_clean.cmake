@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_pagetable.dir/page_allocator.cc.o"
+  "CMakeFiles/ppcmm_pagetable.dir/page_allocator.cc.o.d"
+  "CMakeFiles/ppcmm_pagetable.dir/page_table.cc.o"
+  "CMakeFiles/ppcmm_pagetable.dir/page_table.cc.o.d"
+  "libppcmm_pagetable.a"
+  "libppcmm_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/hw_counters.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/hw_counters.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/hw_counters.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/machine_config.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/machine_config.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/machine_config.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ppcmm_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ppcmm_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

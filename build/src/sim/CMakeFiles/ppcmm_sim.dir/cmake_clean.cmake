@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_sim.dir/cache.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ppcmm_sim.dir/hw_counters.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/hw_counters.cc.o.d"
+  "CMakeFiles/ppcmm_sim.dir/machine.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/machine.cc.o.d"
+  "CMakeFiles/ppcmm_sim.dir/machine_config.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/machine_config.cc.o.d"
+  "CMakeFiles/ppcmm_sim.dir/memory.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/memory.cc.o.d"
+  "CMakeFiles/ppcmm_sim.dir/trace.cc.o"
+  "CMakeFiles/ppcmm_sim.dir/trace.cc.o.d"
+  "libppcmm_sim.a"
+  "libppcmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

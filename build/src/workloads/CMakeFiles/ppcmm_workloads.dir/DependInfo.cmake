@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/coop.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/coop.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/coop.cc.o.d"
+  "/root/repo/src/workloads/kernel_compile.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/kernel_compile.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/kernel_compile.cc.o.d"
+  "/root/repo/src/workloads/lmbench.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/lmbench.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/lmbench.cc.o.d"
+  "/root/repo/src/workloads/multiuser.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/multiuser.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/multiuser.cc.o.d"
+  "/root/repo/src/workloads/os_models.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/os_models.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/os_models.cc.o.d"
+  "/root/repo/src/workloads/report.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/report.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/report.cc.o.d"
+  "/root/repo/src/workloads/xserver.cc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/xserver.cc.o" "gcc" "src/workloads/CMakeFiles/ppcmm_workloads.dir/xserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppcmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ppcmm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagetable/CMakeFiles/ppcmm_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ppcmm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppcmm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

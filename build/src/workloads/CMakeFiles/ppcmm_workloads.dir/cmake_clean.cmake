@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcmm_workloads.dir/coop.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/coop.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/kernel_compile.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/kernel_compile.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/lmbench.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/multiuser.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/multiuser.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/os_models.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/os_models.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/report.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/report.cc.o.d"
+  "CMakeFiles/ppcmm_workloads.dir/xserver.cc.o"
+  "CMakeFiles/ppcmm_workloads.dir/xserver.cc.o.d"
+  "libppcmm_workloads.a"
+  "libppcmm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcmm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ppcmm_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_bit_test.dir/dirty_bit_test.cc.o"
+  "CMakeFiles/dirty_bit_test.dir/dirty_bit_test.cc.o.d"
+  "dirty_bit_test"
+  "dirty_bit_test.pdb"
+  "dirty_bit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_bit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framebuffer_test.dir/framebuffer_test.cc.o"
+  "CMakeFiles/framebuffer_test.dir/framebuffer_test.cc.o.d"
+  "framebuffer_test"
+  "framebuffer_test.pdb"
+  "framebuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framebuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

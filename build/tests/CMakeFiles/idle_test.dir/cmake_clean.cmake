@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_test.dir/idle_test.cc.o"
+  "CMakeFiles/idle_test.dir/idle_test.cc.o.d"
+  "idle_test"
+  "idle_test.pdb"
+  "idle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_compile_test.dir/kernel_compile_test.cc.o"
+  "CMakeFiles/kernel_compile_test.dir/kernel_compile_test.cc.o.d"
+  "kernel_compile_test"
+  "kernel_compile_test.pdb"
+  "kernel_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmbench_test.dir/lmbench_test.cc.o"
+  "CMakeFiles/lmbench_test.dir/lmbench_test.cc.o.d"
+  "lmbench_test"
+  "lmbench_test.pdb"
+  "lmbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_sweep_test.dir/machine_sweep_test.cc.o"
+  "CMakeFiles/machine_sweep_test.dir/machine_sweep_test.cc.o.d"
+  "machine_sweep_test"
+  "machine_sweep_test.pdb"
+  "machine_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

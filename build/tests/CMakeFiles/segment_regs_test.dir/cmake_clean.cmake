@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_regs_test.dir/segment_regs_test.cc.o"
+  "CMakeFiles/segment_regs_test.dir/segment_regs_test.cc.o.d"
+  "segment_regs_test"
+  "segment_regs_test.pdb"
+  "segment_regs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_regs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shm_test.cc" "tests/CMakeFiles/shm_test.dir/shm_test.cc.o" "gcc" "tests/CMakeFiles/shm_test.dir/shm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ppcmm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppcmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ppcmm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagetable/CMakeFiles/ppcmm_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ppcmm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppcmm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

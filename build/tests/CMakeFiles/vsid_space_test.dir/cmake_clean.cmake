@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsid_space_test.dir/vsid_space_test.cc.o"
+  "CMakeFiles/vsid_space_test.dir/vsid_space_test.cc.o.d"
+  "vsid_space_test"
+  "vsid_space_test.pdb"
+  "vsid_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsid_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
