@@ -62,7 +62,9 @@ void FlushEngine::EagerFlushPage(Mm& mm, EffAddr ea) {
       }
     }
   }
-  mmu_.TlbInvalidatePage(ea);
+  if (!broken_tlb_invalidate_) {
+    mmu_.TlbInvalidatePage(ea);
+  }
 }
 
 void FlushEngine::LazyFlushContext(Mm& mm, bool mm_is_current) {

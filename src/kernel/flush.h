@@ -35,6 +35,11 @@ class FlushEngine {
   // Flushes every translation of `mm` (exec, exit).
   void FlushContext(Mm& mm, bool mm_is_current);
 
+  // Test-only sabotage: when set, EagerFlushPage skips the tlbie — the HTAB entry goes but
+  // the TLB keeps the stale translation. Exists so the coherence auditor's detection of a
+  // broken flush can itself be tested; never enable outside a test.
+  void TestOnlyBreakTlbInvalidate(bool broken) { broken_tlb_invalidate_ = broken; }
+
  private:
   // The eager per-page path: HTAB search-and-invalidate plus tlbie.
   void EagerFlushPage(Mm& mm, EffAddr ea);
@@ -44,6 +49,7 @@ class FlushEngine {
   Mmu& mmu_;
   VsidSpace& vsids_;
   const OptimizationConfig& config_;
+  bool broken_tlb_invalidate_ = false;
 };
 
 }  // namespace ppcmm

@@ -65,8 +65,65 @@ Kernel::Kernel(Machine& machine, const OptimizationConfig& config, const KernelC
   mmu_->SetBacking(this);
   mmu_->SetVsidOracle(&vsids_);
   mem_.SetReclaimHook([this](uint32_t target) { return page_cache_.ReclaimPages(target); });
+  vsids_.SetRolloverHook([this] { HandleVsidRollover(); });
   kernel_page_table_ = std::make_unique<PageTable>(allocator_, machine_.memory());
   SetupKernelTranslation();
+}
+
+void Kernel::SetFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  mmu_->SetFaultInjector(injector);
+  mem_.SetFaultInjector(injector);
+  vsids_.SetFaultInjector(injector);
+}
+
+void Kernel::HandleVsidRollover() {
+  // The 24-bit VSID space wrapped: VSIDs about to be issued may still sit — live or zombie —
+  // in the TLB, the HTAB, and the segment registers. Make the whole previous epoch
+  // unreachable, then move every live context into the new epoch.
+  ++machine_.counters().vsid_epoch_rollovers;
+  mmu_->TlbInvalidateAll();
+  if (mmu_->policy().UsesHtab()) {
+    mmu_->htab().InvalidateMatching(
+        [](const HashedPte& pte) { return !VsidSpace::IsKernelVsid(pte.vsid); }, nullptr);
+  }
+  // The sweep above plus the reassignment loop below: a genuinely global, rare event.
+  machine_.AddCycles(Cycles(2000));
+  for (auto& [id, t] : tasks_) {
+    Mm& mm = *t->mm;
+    if (!vsids_.ContextLive(mm.context)) {
+      // Mid-lazy-flush: the caller already retired this context and will assign a fresh one
+      // itself as soon as this hook returns.
+      continue;
+    }
+    vsids_.Retire(mm.context);
+    mm.context = vsids_.NewContext();
+  }
+  if (current_.value != 0) {
+    mmu_->segments().LoadUserSegments(vsids_.SegmentImage(CurrentTask().mm->context));
+  }
+}
+
+void Kernel::InjectZombieFlood() {
+  if (!mmu_->policy().UsesHtab()) {
+    return;  // zombies live in the HTAB; the TLB-only mode has nothing to flood
+  }
+  // Draw a throwaway context, stuff the HTAB with its PTEs, and retire it immediately: the
+  // entries are zombies from birth, exactly what a lazy flush of a busy task leaves behind.
+  const ContextId ctx = vsids_.NewContext();
+  DataMemCharger charger = mmu_->PageTableCharger();
+  for (uint32_t i = 0; i < 64; ++i) {
+    const HashedPte pte{.valid = true,
+                        .vsid = vsids_.UserVsid(ctx, i % kFirstKernelSegment),
+                        .page_index = (i * 37u) & 0xFFFFu,
+                        .rpn = 0,
+                        .cache_inhibited = false,
+                        .writable = false,
+                        .referenced = true,
+                        .changed = false};
+    mmu_->htab().Insert(pte, vsids_, charger);
+  }
+  vsids_.Retire(ctx);
 }
 
 Kernel::~Kernel() {
@@ -159,6 +216,10 @@ void Kernel::SwitchTo(TaskId id) {
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.ctxsw_body_opt
                                                        : costs_.ctxsw_body_unopt));
 
+  if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kZombieFlood)) {
+    InjectZombieFlood();
+  }
+
   // §10.2 extension: prefetch the incoming task's state so the restore loads below hit.
   if (config_.cache_preload_hints) {
     for (uint32_t line = 0; line < 8; ++line) {
@@ -215,6 +276,7 @@ TaskId Kernel::Fork(TaskId parent_id) {
 
   DataMemCharger charger = mmu_->PageTableCharger();
   uint32_t write_protected = 0;
+  try {
   for (const auto& [ea, pte] : pages) {
     LinuxPte child_pte = pte;
     if (IsIoFrame(pte.frame)) {
@@ -246,6 +308,14 @@ TaskId Kernel::Fork(TaskId parent_id) {
     allocator_.AddRef(pte.frame);
     child.mm->page_table->Map(ea, child_pte, &charger);
     machine_.AddCycles(Cycles(12));  // the per-page loop body
+  }
+  } catch (const OutOfMemoryError&) {
+    // Mid-fork exhaustion: tear the half-built child down and drop the parent's stale
+    // (now write-protected) translations before reporting. The parent keeps running — its
+    // COW-marked pages simply take a sole-owner fault on the next write.
+    flusher_.FlushContext(*parent.mm, current_ == parent_id);
+    Exit(child_id);
+    throw;
   }
 
   // The parent's cached translations for the write-protected pages are now stale.
@@ -495,8 +565,16 @@ uint32_t Kernel::ShmCreate(uint32_t pages) {
                                                        : costs_.syscall_body_unopt));
   ShmSegment segment;
   segment.frames.reserve(pages);
-  for (uint32_t i = 0; i < pages; ++i) {
-    segment.frames.push_back(mem_.GetFreePage());
+  try {
+    for (uint32_t i = 0; i < pages; ++i) {
+      segment.frames.push_back(mem_.GetFreePage());
+    }
+  } catch (const OutOfMemoryError&) {
+    // Partial allocation: give back what we got; the segment never existed.
+    for (const uint32_t frame : segment.frames) {
+      mem_.FreePage(frame);
+    }
+    throw;
   }
   const uint32_t id = next_shm_++;
   shm_segments_.emplace(id, std::move(segment));
@@ -783,6 +861,14 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
                .cache_inhibited = false,
                .cow = false,
                .frame = 0};
+  // With eager C-bit marking the MMU installs writable translations pre-marked changed, so
+  // no store will ever trap to set the Linux dirty bit — it must be set here, at fault time,
+  // even when the faulting access is a load. Otherwise the first store is invisible and the
+  // dirty bit is lost (the §7 trade the paper accepts: eager marking over-reports dirtiness).
+  const bool eager_marking = config_.eager_dirty_marking || config_.lazy_context_flush;
+  const auto finalize_dirty = [eager_marking](LinuxPte& p) {
+    p.dirty = p.dirty || (eager_marking && p.writable);
+  };
 
   if (vma->backing == VmaBacking::kShm) {
     // Shared segment: everyone maps the same frame, writable, never COW.
@@ -792,6 +878,7 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
     allocator_.AddRef(frame);
     pte.frame = frame;
     pte.writable = vma->writable;
+    finalize_dirty(pte);
     mm.page_table->Map(ea, pte, &charger);
     return;
   }
@@ -800,6 +887,7 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
     pte.frame = vma->io_first_frame + (page - vma->start_page);
     pte.writable = vma->writable;
     pte.cache_inhibited = true;
+    finalize_dirty(pte);
     mm.page_table->Map(ea, pte, &charger);
     return;
   }
@@ -832,6 +920,7 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
     pte.writable = vma->writable;
   }
 
+  finalize_dirty(pte);
   mm.page_table->Map(ea, pte, &charger);
 }
 
@@ -855,6 +944,7 @@ void Kernel::HandleCowFault(Task& task, EffAddr ea) {
         [](LinuxPte& p) {
           p.writable = true;
           p.cow = false;
+          p.dirty = true;  // a COW fault is a store; under eager marking no trap follows
         },
         &charger);
   } else {
@@ -873,6 +963,7 @@ void Kernel::HandleCowFault(Task& task, EffAddr ea) {
           p.frame = frame;
           p.writable = true;
           p.cow = false;
+          p.dirty = true;  // ditto: the faulting store lands in the fresh copy
         },
         &charger);
   }

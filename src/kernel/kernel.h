@@ -31,6 +31,7 @@
 #include "src/mmu/mmu.h"
 #include "src/pagetable/page_allocator.h"
 #include "src/sim/machine.h"
+#include "src/verify/fault_injector.h"
 
 namespace ppcmm {
 
@@ -196,6 +197,20 @@ class Kernel : public PteBackingSource {
   Machine& machine() { return machine_; }
   Mmu& mmu() { return *mmu_; }
   VsidSpace& vsids() { return vsids_; }
+  PageTable& kernel_page_table() { return *kernel_page_table_; }
+
+  // Visits every task (auditing / instrumentation).
+  template <typename Fn>
+  void ForEachTask(Fn&& fn) {
+    for (auto& [id, t] : tasks_) {
+      fn(*t);
+    }
+  }
+
+  // Threads a fault injector through every registered site (MMU access path, HTAB inserts,
+  // get_free_page, VSID allocation, context switches). Pass nullptr to disarm.
+  void SetFaultInjector(FaultInjector* injector);
+
   MemManager& mem() { return mem_; }
   PageCache& page_cache() { return page_cache_; }
   FlushEngine& flusher() { return flusher_; }
@@ -230,6 +245,11 @@ class Kernel : public PteBackingSource {
   void KernelTouch(EffAddr ea, AccessKind kind);
 
   void SetupKernelTranslation();
+  // VSID epoch rollover: purges every user translation and reassigns all live contexts so
+  // wrapped VSIDs can never alias pre-wrap ones (live or zombie).
+  void HandleVsidRollover();
+  // Fault injection: seed the HTAB with a burst of just-retired (zombie) PTEs.
+  void InjectZombieFlood();
   void HandlePageFault(Task& task, EffAddr ea, AccessKind kind);
   void HandleCowFault(Task& task, EffAddr ea);
   // Copies between a user range and a kernel physical range, line by line.
@@ -266,6 +286,7 @@ class Kernel : public PteBackingSource {
   uint32_t framebuffer_first_frame_ = 0;
   TaskId current_{0};
   uint64_t idle_rr_cursor_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ppcmm

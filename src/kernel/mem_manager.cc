@@ -5,7 +5,21 @@
 namespace ppcmm {
 
 uint32_t MemManager::GetFreePage() {
+  const std::optional<uint32_t> frame = TryGetFreePage();
+  if (!frame.has_value()) {
+    throw OutOfMemoryError(
+        "out of physical memory in get_free_page(): allocator dry, reclaim freed nothing, "
+        "prezeroed list empty");
+  }
+  return *frame;
+}
+
+std::optional<uint32_t> MemManager::TryGetFreePage() {
   HwCounters& counters = machine_.counters();
+  if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kPageAllocExhaustion)) {
+    // Injected exhaustion: behave as if pool, reclaim, and prezeroed list all came up empty.
+    return std::nullopt;
+  }
   // The unconditional "is there a pre-cleared page?" check (§9: "the only overhead is a
   // check to see if there are any pre-cleared pages available").
   machine_.AddCycles(Cycles(2));
@@ -25,7 +39,16 @@ uint32_t MemManager::GetFreePage() {
     reclaim_(32);
     frame = allocator_.Alloc();
   }
-  PPCMM_CHECK_MSG(frame.has_value(), "out of physical memory in get_free_page()");
+  if (!frame.has_value() && !prezeroed_.empty()) {
+    // Last resort: the idle task's hoard. These frames are zeroed already.
+    const uint32_t hoarded = prezeroed_.back();
+    prezeroed_.pop_back();
+    ++counters.prezeroed_page_hits;
+    return hoarded;
+  }
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
   ZeroFrameCharged(*frame, /*cached=*/true);
   ++counters.pages_zeroed_on_demand;
   return *frame;

@@ -16,6 +16,7 @@
 #include "src/kernel/opt_config.h"
 #include "src/pagetable/page_allocator.h"
 #include "src/sim/machine.h"
+#include "src/verify/fault_injector.h"
 
 namespace ppcmm {
 
@@ -27,13 +28,21 @@ class MemManager {
 
   // Installs the memory-pressure hook: called with a target frame count when the allocator
   // runs dry; returns how many frames it freed (the kernel wires this to page-cache
-  // eviction). Allocation failure with no hook — or a hook that frees nothing — is fatal.
+  // eviction).
   void SetReclaimHook(std::function<uint32_t(uint32_t)> hook) { reclaim_ = std::move(hook); }
+
+  // Optional fault injection (kPageAllocExhaustion); null = never fires.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   // get_free_page(): returns a zeroed frame. Checks the pre-zeroed list first (a couple of
   // cycles — the paper argues this check is the only overhead the feature adds), zeroing on
-  // demand otherwise. Reclaims from the page cache under memory pressure.
+  // demand otherwise. Reclaims from the page cache under memory pressure. Throws
+  // OutOfMemoryError once every recovery avenue is exhausted.
   uint32_t GetFreePage();
+
+  // GetFreePage minus the throw: nullopt means genuinely out of memory after degradation
+  // (prezeroed list → allocator → reclaim → drain the prezeroed list).
+  std::optional<uint32_t> TryGetFreePage();
 
   // Releases one reference to a frame.
   void FreePage(uint32_t frame);
@@ -54,6 +63,7 @@ class MemManager {
   const OptimizationConfig& config_;
   std::vector<uint32_t> prezeroed_;
   std::function<uint32_t(uint32_t)> reclaim_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ppcmm

@@ -14,13 +14,15 @@ namespace ppcmm {
 // The memory-management half of a task. Owned by exactly one Task (no thread sharing in
 // this model; the paper's workloads are process based).
 struct Mm {
+  // The PGD frame is allocated before the context is drawn: if memory is exhausted the
+  // constructor throws without having marked any VSIDs live (no context leak on OOM).
   Mm(VsidSpace& vsids, PageAllocator& allocator, PhysicalMemory& memory)
-      : context(vsids.NewContext()),
-        page_table(std::make_unique<PageTable>(allocator, memory)) {}
+      : page_table(std::make_unique<PageTable>(allocator, memory)),
+        context(vsids.NewContext()) {}
 
-  ContextId context;  // reassigned by lazy whole-context flushes
+  std::unique_ptr<PageTable> page_table;  // declared first: built before the context is drawn
+  ContextId context;                      // reassigned by lazy whole-context flushes
   VmaList vmas;
-  std::unique_ptr<PageTable> page_table;
 };
 
 }  // namespace ppcmm

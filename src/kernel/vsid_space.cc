@@ -16,13 +16,67 @@ VsidSpace::VsidSpace(uint32_t scatter_constant) : scatter_(scatter_constant) {
   PPCMM_CHECK_MSG(scatter_constant > 0, "scatter constant must be non-zero");
 }
 
+uint64_t VsidSpace::EpochOf(uint32_t ctx) const {
+  const uint64_t top_vsid = static_cast<uint64_t>(ctx) * scatter_ +
+                            static_cast<uint64_t>(kFirstKernelSegment - 1) * kSegmentVsidStride;
+  return top_vsid >> 24;
+}
+
+bool VsidSpace::TouchesKernelVsids(uint32_t ctx) const {
+  for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+    if (IsKernelVsid(UserVsid(ContextId{ctx}, seg))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 ContextId VsidSpace::NewContext() {
+  if (!in_rollover_ && injector_ != nullptr && injector_->ShouldFire(FaultClass::kVsidWrap)) {
+    ForceWrap();
+  }
+  // The fixed kernel VSIDs sit at the top of every 2^24 window; skip any context whose user
+  // VSIDs would alias them.
+  while (TouchesKernelVsids(next_context_)) {
+    ++next_context_;
+  }
+  if (!in_rollover_ && EpochOf(next_context_) != epoch_) {
+    // Epoch rollover: VSIDs are about to wrap modulo 2^24 and re-issue values that earlier
+    // contexts may still hold in TLB/HTAB entries (live or zombie). The hook must make all
+    // pre-rollover user VSIDs unreachable before we hand any of them out again.
+    epoch_ = EpochOf(next_context_);
+    ++rollovers_;
+    in_rollover_ = true;
+    if (rollover_hook_) {
+      rollover_hook_();
+    }
+    in_rollover_ = false;
+    // The hook itself allocates (reassigning live tasks); re-skip the kernel window.
+    while (TouchesKernelVsids(next_context_)) {
+      ++next_context_;
+    }
+  }
   const ContextId ctx{next_context_++};
   live_contexts_.insert(ctx.value);
   for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
-    live_vsids_.insert(UserVsid(ctx, seg).value);
+    const bool fresh = live_vsids_.insert(UserVsid(ctx, seg).value).second;
+    PPCMM_CHECK_MSG(fresh, "VSID collision between live contexts: ctx=" << ctx.value
+                                                                        << " seg=" << seg);
   }
   return ctx;
+}
+
+void VsidSpace::ForceWrap() {
+  // Jump to the smallest context whose VSID window lies in the next epoch; the normal
+  // NewContext path then performs the rollover.
+  const uint64_t next_epoch_base = (epoch_ + 1) << 24;
+  const uint64_t top_offset =
+      static_cast<uint64_t>(kFirstKernelSegment - 1) * kSegmentVsidStride;
+  const uint64_t needed = next_epoch_base - top_offset;
+  const uint64_t candidate = (needed + scatter_ - 1) / scatter_;
+  if (candidate > next_context_) {
+    next_context_ = static_cast<uint32_t>(candidate);
+  }
 }
 
 void VsidSpace::Retire(ContextId ctx) {

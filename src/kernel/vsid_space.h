@@ -15,10 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 
 #include "src/mmu/addr.h"
 #include "src/mmu/vsid_oracle.h"
+#include "src/verify/fault_injector.h"
 
 namespace ppcmm {
 
@@ -48,8 +50,23 @@ class VsidSpace : public VsidOracle {
  public:
   explicit VsidSpace(uint32_t scatter_constant = kDefaultVsidScatter);
 
-  // Draws a fresh context and marks its user VSIDs live.
+  // Draws a fresh context and marks its user VSIDs live. The 24-bit VSID space is finite:
+  // when the next context's VSID window would cross into a new "epoch" (wrap modulo 2^24 and
+  // start re-issuing VSIDs that earlier contexts — live or zombie — may still own), the
+  // rollover hook fires first so the kernel can retire every live context, purge all user
+  // translations, and reassign. Recursive NewContext calls from inside the hook are safe.
   ContextId NewContext();
+
+  // Installs the epoch-rollover hook. Called before the first allocation of each new epoch;
+  // must leave no pre-rollover user VSID reachable (TLB, HTAB, segment registers).
+  void SetRolloverHook(std::function<void()> hook) { rollover_hook_ = std::move(hook); }
+
+  // Optional fault injection (kVsidWrap → ForceWrap on the next allocation); null = off.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  // Jumps the context counter to the end of the current epoch so the next NewContext
+  // triggers a rollover. Deterministic; used by fault injection and the wraparound tests.
+  void ForceWrap();
 
   // Retires a context: its VSIDs leave the live set and become zombies wherever they are
   // still cached. Safe to call once per context.
@@ -68,15 +85,34 @@ class VsidSpace : public VsidOracle {
   // VsidOracle: kernel VSIDs and the VSIDs of unretired contexts are live.
   bool IsLive(Vsid vsid) const override;
 
+  // True while `ctx` has been issued and not retired.
+  bool ContextLive(ContextId ctx) const { return live_contexts_.contains(ctx.value); }
+
   uint32_t scatter() const { return scatter_; }
   uint32_t LiveContextCount() const { return static_cast<uint32_t>(live_contexts_.size()); }
   uint32_t ContextsIssued() const { return next_context_; }
+  uint64_t CurrentEpoch() const { return epoch_; }
+  uint64_t EpochRollovers() const { return rollovers_; }
 
  private:
+  // The epoch a context's VSID window falls in: its highest user VSID, unmasked, divided by
+  // 2^24. Using the top of the window means a context that would straddle the wrap boundary
+  // is classified into the next epoch, so the rollover happens before any of its VSIDs can
+  // alias a pre-wrap VSID.
+  uint64_t EpochOf(uint32_t ctx) const;
+
+  // True when any user VSID of `ctx` would land inside the fixed kernel VSID block.
+  bool TouchesKernelVsids(uint32_t ctx) const;
+
   uint32_t scatter_;
   uint32_t next_context_ = 1;  // context 0 is never issued (reserved)
+  uint64_t epoch_ = 0;
+  uint64_t rollovers_ = 0;
+  bool in_rollover_ = false;
   std::unordered_set<uint32_t> live_contexts_;
   std::unordered_set<uint32_t> live_vsids_;  // user VSIDs of live contexts
+  std::function<void()> rollover_hook_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ppcmm

@@ -131,6 +131,22 @@ uint32_t HashTable::InvalidateMatching(const std::function<bool(const HashedPte&
   return cleared;
 }
 
+uint32_t HashTable::InvalidatePteg(uint32_t pteg, MemCharger* charger) {
+  PPCMM_CHECK(pteg < num_ptegs());
+  uint32_t cleared = 0;
+  for (uint32_t s = 0; s < kPtesPerPteg; ++s) {
+    HashedPte& pte = ptegs_[pteg][s];
+    if (pte.valid) {
+      pte.valid = false;
+      ++cleared;
+      if (charger != nullptr) {
+        charger->Charge(SlotAddr(pteg, s), /*is_write=*/true);
+      }
+    }
+  }
+  return cleared;
+}
+
 uint32_t HashTable::ReclaimZombies(uint32_t max_ptegs, const VsidOracle& oracle,
                                    MemCharger& charger) {
   uint32_t reclaimed = 0;

@@ -80,6 +80,12 @@ class HashTable {
   uint32_t InvalidateMatching(const std::function<bool(const HashedPte&)>& pred,
                               MemCharger* charger);
 
+  // Invalidates every valid entry of one PTEG (fault injection: a forced eviction storm).
+  // Charges one write per cleared slot when `charger` is non-null. Returns entries cleared.
+  // Safe with deferred C-bit marking because the C bit is written through to the Linux PTE
+  // at the first store, so dropping HTAB entries can never lose dirty information.
+  uint32_t InvalidatePteg(uint32_t pteg, MemCharger* charger);
+
   // Idle-task zombie reclaim (§7): scans up to `max_ptegs` PTEGs from an internal cursor,
   // physically invalidating valid PTEs whose VSID is dead. Returns zombies cleared.
   uint32_t ReclaimZombies(uint32_t max_ptegs, const VsidOracle& oracle, MemCharger& charger);

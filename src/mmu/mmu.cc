@@ -17,6 +17,16 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   const bool supervisor = ea.IsKernel();
   HwCounters& counters = machine_.counters();
 
+  if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kSpuriousTlbFlush)) {
+    // An unrelated agent broadcast a TLB invalidation: alternate between a targeted tlbie
+    // for this access's page and a full tlbia. Translation below proceeds from cold state.
+    if (injector_->Fires(FaultClass::kSpuriousTlbFlush) % 2 == 0) {
+      TlbInvalidateAll();
+    } else {
+      TlbInvalidatePage(ea);
+    }
+  }
+
   // BAT translation runs in parallel with the segment lookup; a BAT hit abandons the
   // page-table path entirely (§3).
   const BatArray& bats = IsInstruction(kind) ? ibats_ : dbats_;
@@ -199,6 +209,13 @@ std::optional<PteWalkInfo> Mmu::SoftwareRefill(EffAddr ea, VirtPage vp, bool ins
   }
 
   if (insert_into_htab) {
+    if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kHtabEvictionStorm)) {
+      // Forced eviction storm: wipe both candidate PTEGs — up to 16 live entries — before
+      // the insert. Harmless for dirty state (the C bit is written through to the Linux PTE)
+      // but maximally hostile to HTAB hit rates and zombie bookkeeping.
+      htab_.InvalidatePteg(htab_.PrimaryPteg(vp), &pt_charger);
+      htab_.InvalidatePteg(htab_.SecondaryPteg(vp), &pt_charger);
+    }
     const HashedPte pte{.valid = true,
                         .vsid = vp.vsid,
                         .page_index = vp.page_index,

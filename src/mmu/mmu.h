@@ -32,6 +32,7 @@
 #include "src/mmu/tlb.h"
 #include "src/mmu/vsid_oracle.h"
 #include "src/sim/machine.h"
+#include "src/verify/fault_injector.h"
 
 namespace ppcmm {
 
@@ -113,6 +114,10 @@ class Mmu {
   void SetBacking(PteBackingSource* backing) { backing_ = backing; }
   void SetVsidOracle(const VsidOracle* oracle) { oracle_ = oracle; }
 
+  // Optional fault injection (kSpuriousTlbFlush on every access, kHtabEvictionStorm on every
+  // HTAB insert); null = never fires.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   // Performs one full memory reference: translation (charging all reload costs) followed by
   // the cache access to the translated address. On a fault nothing is installed; the caller
   // (kernel fault path) repairs the PTE tree and retries.
@@ -163,6 +168,7 @@ class Mmu {
   PteBackingSource* backing_ = nullptr;
   const VsidOracle* oracle_ = nullptr;
   AllLiveVsidOracle all_live_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ppcmm

@@ -61,6 +61,15 @@ class Tlb {
   // Invalidates entries selected by `pred`; returns the count (simulation convenience).
   uint32_t InvalidateMatching(const std::function<bool(const TlbEntry&)>& pred);
 
+  // Read-only visit of every valid entry (auditing convenience; no LRU side effects).
+  void ForEachValid(const std::function<void(const TlbEntry&)>& fn) const {
+    for (const TlbEntry& entry : ways_) {
+      if (entry.valid) {
+        fn(entry);
+      }
+    }
+  }
+
   uint32_t ValidCount() const;
   uint32_t KernelEntryCount() const;
   uint32_t entries() const { return static_cast<uint32_t>(ways_.size()); }

@@ -14,7 +14,9 @@ constexpr uint32_t kPgdPresentBit = 1u << 0;
 PageTable::PageTable(PageAllocator& allocator, PhysicalMemory& memory)
     : allocator_(allocator), memory_(memory) {
   const std::optional<uint32_t> frame = allocator_.Alloc();
-  PPCMM_CHECK_MSG(frame.has_value(), "out of memory allocating a PGD frame");
+  if (!frame.has_value()) {
+    throw OutOfMemoryError("out of memory allocating a PGD frame");
+  }
   pgd_frame_ = *frame;
   memory_.ZeroFrame(pgd_frame_);
 }
@@ -58,7 +60,9 @@ void PageTable::Map(EffAddr ea, const LinuxPte& pte, MemCharger* charger) {
   std::optional<uint32_t> pte_frame = PtePageFrame(PgdIndex(ea));
   if (!pte_frame.has_value()) {
     const std::optional<uint32_t> fresh = allocator_.Alloc();
-    PPCMM_CHECK_MSG(fresh.has_value(), "out of memory allocating a PTE page");
+    if (!fresh.has_value()) {
+      throw OutOfMemoryError("out of memory allocating a PTE page");
+    }
     memory_.ZeroFrame(*fresh);
     memory_.Write32(PgdEntryAddr(PgdIndex(ea)), (*fresh << 12) | kPgdPresentBit);
     if (charger != nullptr) {

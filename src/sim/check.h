@@ -19,6 +19,15 @@ class CheckFailure : public std::logic_error {
   explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
 };
 
+// Thrown when physical memory is genuinely exhausted after every recovery avenue (prezeroed
+// list, page-cache reclaim) has been tried. Derives from CheckFailure so legacy callers that
+// treat any check as fatal still work, but callers that can shed load (fork, mmap, the torture
+// harness) may catch this specifically, roll back, and continue.
+class OutOfMemoryError : public CheckFailure {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : CheckFailure(what) {}
+};
+
 namespace internal {
 
 [[noreturn]] inline void CheckFailed(const char* condition, const char* file, int line,

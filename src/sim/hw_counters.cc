@@ -25,6 +25,7 @@ HwCounters HwCounters::Diff(const HwCounters& earlier) const {
   d.dirty_bit_updates = dirty_bit_updates - earlier.dirty_bit_updates;
   d.tlb_page_flushes = tlb_page_flushes - earlier.tlb_page_flushes;
   d.tlb_context_flushes = tlb_context_flushes - earlier.tlb_context_flushes;
+  d.vsid_epoch_rollovers = vsid_epoch_rollovers - earlier.vsid_epoch_rollovers;
   d.syscalls = syscalls - earlier.syscalls;
   d.context_switches = context_switches - earlier.context_switches;
   d.pages_zeroed_on_demand = pages_zeroed_on_demand - earlier.pages_zeroed_on_demand;
@@ -67,7 +68,8 @@ std::string HwCounters::ToString() const {
       << " zombies_reclaimed=" << zombies_reclaimed << "\n"
       << "page_faults=" << page_faults << " pte_tree_walks=" << pte_tree_walks
       << " dirty_bit_updates=" << dirty_bit_updates << "\n"
-      << "flushes: page=" << tlb_page_flushes << " context=" << tlb_context_flushes << "\n"
+      << "flushes: page=" << tlb_page_flushes << " context=" << tlb_context_flushes
+      << " vsid_epoch_rollovers=" << vsid_epoch_rollovers << "\n"
       << "syscalls=" << syscalls << " context_switches=" << context_switches << "\n"
       << "zeroing: demand=" << pages_zeroed_on_demand << " idle=" << pages_zeroed_in_idle
       << " prezeroed_hits=" << prezeroed_page_hits << " idle_invocations=" << idle_invocations

@@ -43,8 +43,9 @@ struct HwCounters {
   uint64_t dirty_bit_updates = 0;  // deferred C-bit traps (first store to a clean page)
 
   // Flushing.
-  uint64_t tlb_page_flushes = 0;     // per-page invalidations (tlbie-style)
-  uint64_t tlb_context_flushes = 0;  // whole-context (VSID reassignment) flushes
+  uint64_t tlb_page_flushes = 0;      // per-page invalidations (tlbie-style)
+  uint64_t tlb_context_flushes = 0;   // whole-context (VSID reassignment) flushes
+  uint64_t vsid_epoch_rollovers = 0;  // 24-bit VSID space wraps (global flush + reassign)
 
   // Kernel activity.
   uint64_t syscalls = 0;

@@ -1,0 +1,130 @@
+// Deterministic, seed-driven fault injection for the MMU simulator.
+//
+// Each brittle site in the kernel/MMU registers itself by polling the injector with a fault
+// class; the injector decides — from a per-class SplitMix64 stream, so runs replay exactly
+// from a seed — whether the fault fires at this poll. Sites interpret "fire" themselves:
+//
+//   kPageAllocExhaustion  MemManager::TryGetFreePage pretends the pool is empty (skips the
+//                         prezeroed list and reclaim) and reports out-of-memory.
+//   kHtabEvictionStorm    Mmu::SoftwareRefill invalidates both candidate PTEGs before
+//                         inserting, forcing live-entry evictions en masse.
+//   kSpuriousTlbFlush     Mmu::Access drops the whole TLB (or one page) before translating,
+//                         as if an unrelated CPU had broadcast tlbie/tlbia.
+//   kVsidWrap             VsidSpace::NewContext jumps the context counter to the end of the
+//                         24-bit VSID space, forcing an epoch rollover immediately.
+//   kZombieFlood          Kernel::SwitchTo retires a throwaway context and seeds the HTAB
+//                         with a burst of zombie PTEs for it.
+//
+// The injector is passive: a site that is never polled never fires, and a null injector
+// pointer (the default everywhere) costs one branch. Tests target one class at a time with
+// Enable(cls, one_in) for a steady rate or ArmOnce(cls, after) for a single precise shot.
+
+#ifndef PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_
+#define PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/rng.h"
+
+namespace ppcmm {
+
+enum class FaultClass : uint32_t {
+  kPageAllocExhaustion = 0,
+  kHtabEvictionStorm,
+  kSpuriousTlbFlush,
+  kVsidWrap,
+  kZombieFlood,
+};
+
+inline constexpr uint32_t kNumFaultClasses = 5;
+
+inline const char* FaultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kPageAllocExhaustion:
+      return "page-alloc-exhaustion";
+    case FaultClass::kHtabEvictionStorm:
+      return "htab-eviction-storm";
+    case FaultClass::kSpuriousTlbFlush:
+      return "spurious-tlb-flush";
+    case FaultClass::kVsidWrap:
+      return "vsid-wrap";
+    case FaultClass::kZombieFlood:
+      return "zombie-flood";
+  }
+  return "unknown";
+}
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) {
+    for (uint32_t i = 0; i < kNumFaultClasses; ++i) {
+      // Distinct stream per class so enabling one class never perturbs another's schedule.
+      sites_[i].rng = Rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    }
+  }
+
+  // Fires roughly once per `one_in` polls (never when one_in == 0).
+  void Enable(FaultClass cls, uint32_t one_in) {
+    Site& s = site(cls);
+    s.one_in = one_in;
+    s.armed_countdown = -1;
+  }
+
+  void Disable(FaultClass cls) {
+    Site& s = site(cls);
+    s.one_in = 0;
+    s.armed_countdown = -1;
+  }
+
+  // Fires exactly once, on the (after_polls + 1)-th poll from now.
+  void ArmOnce(FaultClass cls, uint32_t after_polls = 0) {
+    site(cls).armed_countdown = static_cast<int64_t>(after_polls);
+  }
+
+  // Called by an injection site. Returns true when the fault should fire now.
+  bool ShouldFire(FaultClass cls) {
+    Site& s = site(cls);
+    ++s.polls;
+    bool fire = false;
+    if (s.armed_countdown >= 0) {
+      fire = s.armed_countdown == 0;
+      --s.armed_countdown;
+    } else if (s.one_in > 0) {
+      fire = s.rng.Chance(1, s.one_in);
+    }
+    if (fire) {
+      ++s.fires;
+    }
+    return fire;
+  }
+
+  uint64_t Polls(FaultClass cls) const { return site(cls).polls; }
+  uint64_t Fires(FaultClass cls) const { return site(cls).fires; }
+
+  uint64_t TotalFires() const {
+    uint64_t total = 0;
+    for (const Site& s : sites_) {
+      total += s.fires;
+    }
+    return total;
+  }
+
+ private:
+  struct Site {
+    Rng rng{0};
+    uint32_t one_in = 0;          // steady-state rate; 0 = off
+    int64_t armed_countdown = -1;  // >= 0: fire when it hits 0; overrides one_in
+    uint64_t polls = 0;
+    uint64_t fires = 0;
+  };
+
+  Site& site(FaultClass cls) { return sites_[static_cast<uint32_t>(cls)]; }
+  const Site& site(FaultClass cls) const { return sites_[static_cast<uint32_t>(cls)]; }
+
+  std::array<Site, kNumFaultClasses> sites_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_

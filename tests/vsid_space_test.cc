@@ -101,6 +101,86 @@ TEST(VsidSpaceTest, OutOfRangeSegmentThrows) {
   EXPECT_THROW(VsidSpace(0), CheckFailure);
 }
 
+// ---- 24-bit wraparound ----
+//
+// A huge scatter makes the 24-bit VSID space wrap after a handful of contexts, so epoch
+// rollover — which production scatters hit only after millions of contexts — is exercised
+// directly. The correctness condition: VSIDs issued before a rollover (live or zombie) must
+// never alias VSIDs issued after it, provided the rollover hook purges all translations.
+
+TEST(VsidWrapTest, RolloverHookFiresBeforeAnyVsidIsReissued) {
+  constexpr uint32_t kHugeScatter = 1u << 20;  // epoch rolls every ~16 contexts
+  VsidSpace vsids(kHugeScatter);
+  std::set<uint32_t> outstanding;  // VSIDs that would still be cached somewhere
+  uint64_t hook_calls = 0;
+  vsids.SetRolloverHook([&] {
+    ++hook_calls;
+    outstanding.clear();  // the kernel's hook purges every user translation
+  });
+  for (int i = 0; i < 100; ++i) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      const uint32_t v = vsids.UserVsid(ctx, seg).value;
+      EXPECT_TRUE(outstanding.insert(v).second)
+          << "pre-rollover zombie VSID 0x" << std::hex << v << " resurrected at context "
+          << std::dec << ctx.value << " (epoch " << vsids.CurrentEpoch() << ")";
+    }
+    vsids.Retire(ctx);  // zombie: stays outstanding until a rollover purges it
+  }
+  EXPECT_GE(hook_calls, 5u);
+  EXPECT_EQ(vsids.EpochRollovers(), hook_calls);
+  EXPECT_GE(vsids.CurrentEpoch(), hook_calls);
+}
+
+TEST(VsidWrapTest, ForceWrapRollsOverOnNextAllocation) {
+  VsidSpace vsids(kDefaultVsidScatter);
+  const ContextId before = vsids.NewContext();
+  uint64_t hook_calls = 0;
+  vsids.SetRolloverHook([&] { ++hook_calls; });
+  EXPECT_EQ(vsids.EpochRollovers(), 0u);
+  vsids.ForceWrap();
+  const ContextId after = vsids.NewContext();
+  EXPECT_EQ(hook_calls, 1u);
+  EXPECT_EQ(vsids.EpochRollovers(), 1u);
+  EXPECT_EQ(vsids.CurrentEpoch(), 1u);
+  EXPECT_LT(before.value, after.value) << "the counter must only ever move forward";
+}
+
+TEST(VsidWrapTest, HookMayAllocateContextsReentrantly) {
+  // The kernel's rollover hook reassigns every live task by calling NewContext from inside
+  // the rollover; the recursion must neither loop nor re-trigger.
+  constexpr uint32_t kHugeScatter = 1u << 20;
+  VsidSpace vsids(kHugeScatter);
+  ContextId reassigned{0};
+  uint64_t hook_calls = 0;
+  vsids.SetRolloverHook([&] {
+    ++hook_calls;
+    reassigned = vsids.NewContext();
+  });
+  vsids.ForceWrap();
+  const ContextId outer = vsids.NewContext();
+  EXPECT_EQ(hook_calls, 1u);
+  EXPECT_NE(reassigned.value, 0u);
+  EXPECT_NE(reassigned.value, outer.value);
+  EXPECT_TRUE(vsids.ContextLive(reassigned));
+  EXPECT_TRUE(vsids.ContextLive(outer));
+}
+
+TEST(VsidWrapTest, ContextsWhoseVsidsWouldHitKernelBlockAreSkipped) {
+  // scatter 0x1FFFFE puts context 8's segment-0 VSID at exactly 0xFFFFF0 — the base of the
+  // fixed kernel VSID block. The allocator must skip such contexts entirely.
+  VsidSpace vsids(0x1FFFFE);
+  vsids.SetRolloverHook([] {});
+  for (int i = 0; i < 32; ++i) {
+    const ContextId ctx = vsids.NewContext();
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      EXPECT_FALSE(VsidSpace::IsKernelVsid(vsids.UserVsid(ctx, seg)))
+          << "context " << ctx.value << " segment " << seg;
+    }
+    vsids.Retire(ctx);
+  }
+}
+
 // The scatter sweep: any constant must produce distinct VSIDs for modest context counts;
 // quality (hash spread) is measured by bench/sec5_hash_utilization, not asserted here.
 class ScatterSweep : public ::testing::TestWithParam<uint32_t> {};
