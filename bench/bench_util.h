@@ -8,20 +8,25 @@
 #include <string>
 
 #include "src/core/system.h"
+#include "src/obs/bench_report.h"
 #include "src/workloads/report.h"
 
 namespace ppcmm {
 
 // Prints one paper-vs-measured line: the absolute numbers will differ (our substrate is a
 // simulator, not the authors' PowerMacs), the ratios and orderings are what must hold.
+// The same row lands in BenchReport::Global(), so a run with PPCMM_BENCH_OUT set also
+// yields a machine-readable BENCH_<name>.json.
 inline void PaperVsMeasured(const char* metric, double paper, double measured,
                             const char* unit) {
   std::printf("  %-34s paper %10.1f %-6s  measured %10.1f %-6s  ratio %.2fx\n", metric, paper,
               unit, measured, unit, paper > 0 ? measured / paper : 0.0);
+  BenchReport::Global().AddComparison(metric, paper, measured, unit);
 }
 
 inline void Headline(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  BenchReport::Global().BeginSection(title);
 }
 
 }  // namespace ppcmm

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Runs every reproduction bench and collects machine-readable BENCH_<name>.json reports
+# into bench-out/ (gitignored). Human-readable tables still go to stdout.
+#
+#   bench/run_all.sh [build-dir]     default build dir: build
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out_dir="$repo_root/bench-out"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found; configure and build first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+export PPCMM_BENCH_OUT="$out_dir"
+
+benches="table1_direct_reload table2_range_flush table3_os_comparison \
+  sec5_bat_footprint sec5_hash_utilization sec5_io_bat sec6_fast_reload \
+  sec7_idle_reclaim sec8_pagetable_cache sec9_idle_page_clear \
+  ablation_interactions multiuser_scaling"
+
+failed=0
+for bench in $benches; do
+  binary="$build_dir/bench/$bench"
+  if [ ! -x "$binary" ]; then
+    echo "skip: $bench (not built)" >&2
+    continue
+  fi
+  echo "==> $bench"
+  if ! "$binary" > "$out_dir/$bench.txt" 2>&1; then
+    echo "FAILED: $bench (log: $out_dir/$bench.txt)" >&2
+    failed=1
+  fi
+done
+
+echo
+echo "reports in $out_dir:"
+ls "$out_dir"
+exit $failed

@@ -133,6 +133,12 @@ int Main() {
     table.AddRow({c.label, TextTable::Pct(r.coverage),
                   TextTable::Num(r.mean_used_occupancy, 2), TextTable::Count(r.hot_ptegs),
                   TextTable::Count(r.evicts), TextTable::Pct(r.hit_rate)});
+    const std::string prefix = std::string("scatter_") + std::to_string(c.scatter) +
+                               (c.kernel_in_htab ? "" : "_bat");
+    BenchReport::Global().Add(prefix + ".coverage", r.coverage * 100.0, "%");
+    BenchReport::Global().Add(prefix + ".mean_used_occupancy", r.mean_used_occupancy);
+    BenchReport::Global().Add(prefix + ".hot_ptegs", static_cast<double>(r.hot_ptegs));
+    BenchReport::Global().Add(prefix + ".htab_hit_rate", r.hit_rate * 100.0, "%");
   }
   std::printf("%s\n", table.ToString().c_str());
 

@@ -85,6 +85,10 @@ int Main() {
   const double improvement_604 = results[2].mmap_latency_us / results[3].mmap_latency_us;
   std::printf("\nmmap() improvement from lazy flushing: 603 %.0fx, 604 %.0fx (paper: ~80x)\n",
               improvement_603, improvement_604);
+  BenchReport::Global().AddComparison("mmap improvement 603 (lazy/eager)", 80.0,
+                                      improvement_603, "x");
+  BenchReport::Global().AddComparison("mmap improvement 604 (lazy/eager)", 80.0,
+                                      improvement_604, "x");
 
   // §7's tunable: sweep the range-flush cutoff. Below the map size the whole-context flush
   // kicks in and latency collapses; with the cutoff disabled (0) flushing is per-page.
@@ -105,6 +109,9 @@ int Main() {
     sweep.AddRow({cutoff == 0 ? "off (per-page)" : std::to_string(cutoff),
                   TextTable::Us(mmap_us), TextTable::Count(delta.tlb_context_flushes),
                   TextTable::Count(delta.tlb_page_flushes)});
+    const std::string prefix = "cutoff_" + std::to_string(cutoff);
+    BenchReport::Global().Add(prefix + ".mmap_latency", mmap_us, "us");
+    BenchReport::Global().AddCounters(prefix, delta);
   }
   std::printf("%s\n", sweep.ToString().c_str());
   return 0;

@@ -2,6 +2,7 @@
 //
 //   torture [--seed N] [--ops N] [--strategy hw|sw|direct] [--audit-period N]
 //           [--ram-mb N] [--faults] [--break-flush] [--fixed-config]
+//           [--trace-out FILE] [--metrics-out FILE]
 //
 // Exit status 0 on a clean run, 1 on an auditor violation (the report printed to stderr
 // contains everything needed to replay the failure: seed, strategy, config, op trace).
@@ -10,20 +11,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/verify/torture.h"
 
 namespace {
 
-uint64_t ParseNum(const char* flag, const char* value) {
+uint64_t ParseNum(const char* flag, const std::string& value) {
   char* end = nullptr;
-  const uint64_t parsed = std::strtoull(value, &end, 0);
-  if (end == value || *end != '\0') {
-    std::fprintf(stderr, "bad value for %s: %s\n", flag, value);
+  const uint64_t parsed = std::strtoull(value.c_str(), &end, 0);
+  if (end == value.c_str() || *end != '\0') {
+    std::fprintf(stderr, "bad value for %s: %s\n", flag, value.c_str());
     std::exit(2);
   }
   return parsed;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << content << "\n";
+  return out.good();
 }
 
 }  // namespace
@@ -32,17 +43,34 @@ int main(int argc, char** argv) {
   ppcmm::TortureOptions options;
   options.ops = 20000;
   options.audit_period = 64;
+  std::string trace_out;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&] {
+    std::string arg = argv[i];
+    // --flag=value and --flag value both work.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+      arg.resize(eq);
+    }
+    const auto next = [&]() -> std::string {
+      if (has_inline_value) {
+        return inline_value;
+      }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", arg.c_str());
         std::exit(2);
       }
       return argv[++i];
     };
-    if (arg == "--seed") {
+    if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--seed") {
       options.seed = ParseNum("--seed", next());
     } else if (arg == "--ops") {
       options.ops = static_cast<uint32_t>(ParseNum("--ops", next()));
@@ -93,6 +121,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.audit_stats.htab_entries_checked),
       static_cast<unsigned long long>(result.audit_stats.tlb_zombies_seen),
       static_cast<unsigned long long>(result.audit_stats.htab_zombies_seen));
+  if (!trace_out.empty()) {
+    if (WriteFile(trace_out, result.trace_json)) {
+      std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (WriteFile(metrics_out, result.metrics_json)) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+    }
+  }
   if (result.failed) {
     std::fprintf(stderr, "%s\n", result.failure_report.c_str());
     return 1;

@@ -6,11 +6,14 @@ void FlushEngine::FlushPage(Mm& mm, EffAddr ea) { EagerFlushPage(mm, ea); }
 
 void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
                              bool mm_is_current) {
+  Machine& machine = mmu_.machine();
+  const Cycles flush_start = machine.Now();
   if (config_.lazy_context_flush && config_.range_flush_cutoff > 0 &&
       page_count > config_.range_flush_cutoff) {
     // §7: "invalidating the whole memory management context of any process needing to
     // invalidate more than a small set of pages" — the 80× mmap() win.
     LazyFlushContext(mm, mm_is_current);
+    machine.RecordLatency(LatencyProbe::kContextFlushLazy, flush_start);
     return;
   }
   // Eager path: "the kernel was clearing the range of addresses by searching the hash table
@@ -19,6 +22,7 @@ void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
   for (uint32_t i = 0; i < page_count; ++i) {
     EagerFlushPage(mm, EffAddr::FromPage(start_page + i));
   }
+  machine.RecordLatency(LatencyProbe::kRangeFlushEager, flush_start);
 }
 
 void FlushEngine::FlushContext(Mm& mm, bool mm_is_current) {

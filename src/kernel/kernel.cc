@@ -71,7 +71,18 @@ Kernel::Kernel(Machine& machine, const OptimizationConfig& config, const KernelC
 }
 
 void Kernel::SetFaultInjector(FaultInjector* injector) {
+  if (injector_ != nullptr && injector_ != injector) {
+    injector_->SetFireObserver(nullptr);
+  }
   injector_ = injector;
+  if (injector != nullptr) {
+    // Every fire — wherever the site lives, even in components with no Machine reference
+    // like VsidSpace — lands in the trace for post-mortem correlation.
+    injector->SetFireObserver([this](FaultClass cls, uint64_t fires) {
+      machine_.Trace(TraceEvent::kFaultInjected, static_cast<uint32_t>(cls),
+                     static_cast<uint32_t>(fires));
+    });
+  }
   mmu_->SetFaultInjector(injector);
   mem_.SetFaultInjector(injector);
   vsids_.SetFaultInjector(injector);
@@ -82,6 +93,8 @@ void Kernel::HandleVsidRollover() {
   // in the TLB, the HTAB, and the segment registers. Make the whole previous epoch
   // unreachable, then move every live context into the new epoch.
   ++machine_.counters().vsid_epoch_rollovers;
+  machine_.Trace(TraceEvent::kVsidEpochRollover,
+                 static_cast<uint32_t>(machine_.counters().vsid_epoch_rollovers));
   mmu_->TlbInvalidateAll();
   if (mmu_->policy().UsesHtab()) {
     mmu_->htab().InvalidateMatching(
@@ -250,8 +263,13 @@ void Kernel::SwitchTo(TaskId id) {
 
   scheduler_.Remove(id);  // the running task is not queued
   next.state = TaskState::kRunning;
+  ++next.obs.switches_in;
   const TaskId previous = current_;
   current_ = id;
+  machine_.trace().SetCurrentTask(id.value);
+  if (tick_hook_) {
+    tick_hook_();
+  }
   if (switch_hook_) {
     // Must be the last action: a cooperative harness may park this call stack here.
     switch_hook_(previous, id);
@@ -313,6 +331,7 @@ TaskId Kernel::Fork(TaskId parent_id) {
     // Mid-fork exhaustion: tear the half-built child down and drop the parent's stale
     // (now write-protected) translations before reporting. The parent keeps running — its
     // COW-marked pages simply take a sole-owner fault on the next write.
+    machine_.Trace(TraceEvent::kOomRollback, static_cast<uint32_t>(KernelOp::kFork));
     flusher_.FlushContext(*parent.mm, current_ == parent_id);
     Exit(child_id);
     throw;
@@ -400,6 +419,7 @@ void Kernel::Exit(TaskId id) {
 
   if (current_ == id) {
     current_ = TaskId{0};
+    machine_.trace().SetCurrentTask(0);
   }
   scheduler_.Remove(id);
   for (auto& [pipe_id, pipe] : pipes_) {
@@ -571,6 +591,7 @@ uint32_t Kernel::ShmCreate(uint32_t pages) {
     }
   } catch (const OutOfMemoryError&) {
     // Partial allocation: give back what we got; the segment never existed.
+    machine_.Trace(TraceEvent::kOomRollback, static_cast<uint32_t>(KernelOp::kMmapCall));
     for (const uint32_t frame : segment.frames) {
       mem_.FreePage(frame);
     }
@@ -758,14 +779,19 @@ void Kernel::UserTouch(EffAddr ea, AccessKind kind) {
     switch (mmu_->Access(ea, kind)) {
       case AccessOutcome::kOk:
         return;
-      case AccessOutcome::kPageFault:
+      case AccessOutcome::kPageFault: {
+        const Cycles fault_start = machine_.Now();
         HandlePageFault(current, ea, kind);
+        machine_.RecordLatency(LatencyProbe::kPageFault, fault_start);
         break;
+      }
       case AccessOutcome::kProtectionFault: {
         const std::optional<LinuxPte> pte = current.mm->page_table->LookupQuiet(ea);
         PPCMM_CHECK_MSG(pte.has_value() && pte->present && pte->cow,
                         "write to a genuinely read-only mapping at 0x" << std::hex << ea.value);
+        const Cycles fault_start = machine_.Now();
         HandleCowFault(current, ea);
+        machine_.RecordLatency(LatencyProbe::kCowFault, fault_start);
         break;
       }
     }
@@ -800,6 +826,9 @@ void Kernel::RunIdle(Cycles budget) {
   HwCounters& counters = machine_.counters();
   ++counters.idle_invocations;
   machine_.Trace(TraceEvent::kIdleSlice, static_cast<uint32_t>(budget.value));
+  if (tick_hook_) {
+    tick_hook_();
+  }
   const Cycles deadline = machine_.Now() + budget;
   DataMemCharger pt_charger = mmu_->PageTableCharger();
 
@@ -816,8 +845,10 @@ void Kernel::RunIdle(Cycles budget) {
 
     bool worked = false;
     if (config_.idle_zombie_reclaim && mmu_->policy().UsesHtab()) {
+      const Cycles pass_start = machine_.Now();
       const uint32_t reclaimed =
           mmu_->htab().ReclaimZombies(config_.idle_reclaim_ptegs_per_pass, vsids_, pt_charger);
+      machine_.RecordLatency(LatencyProbe::kIdleReclaimPass, pass_start);
       counters.zombies_reclaimed += reclaimed;
       if (reclaimed > 0) {
         machine_.Trace(TraceEvent::kZombieReclaim, reclaimed);
@@ -838,6 +869,7 @@ void Kernel::RunIdle(Cycles budget) {
 void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
   HwCounters& counters = machine_.counters();
   ++counters.page_faults;
+  ++task.obs.page_faults;
   machine_.Trace(TraceEvent::kPageFault, ea.EffPageNumber());
   ChargeKernelWork(KernelOp::kFault);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.fault_body_opt
@@ -927,6 +959,7 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
 void Kernel::HandleCowFault(Task& task, EffAddr ea) {
   HwCounters& counters = machine_.counters();
   ++counters.page_faults;
+  ++task.obs.cow_faults;
   machine_.Trace(TraceEvent::kCowFault, ea.EffPageNumber());
   ChargeKernelWork(KernelOp::kFault);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.fault_body_opt

@@ -25,12 +25,22 @@ enum class TaskState {
   kZombie,   // exited, not yet reaped
 };
 
+// Per-task observability counters: how much MMU work each address space caused. Maintained
+// unconditionally (plain increments on already-taken paths); the MetricsRegistry exports
+// them as task.<id>.* metrics.
+struct TaskObsCounters {
+  uint64_t page_faults = 0;  // demand + file-backed faults taken while this task ran
+  uint64_t cow_faults = 0;   // copy-on-write breaks
+  uint64_t switches_in = 0;  // times this task was switched to
+};
+
 // One process.
 struct Task {
   TaskId id;
   std::string name;
   TaskState state = TaskState::kRunnable;
   std::unique_ptr<Mm> mm;
+  TaskObsCounters obs;
 
   // Physical address of this task's task-struct in the kernel misc area; the first load of
   // every PTE-tree walk (the PGD pointer) is charged here, and context switches touch it.

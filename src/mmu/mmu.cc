@@ -125,6 +125,7 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
   HwCounters& counters = machine_.counters();
   const MachineConfig& config = machine_.config();
   DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
+  const Cycles reload_start = machine_.Now();
 
   switch (policy_.strategy) {
     case ReloadStrategy::kHardwareHtabWalk: {
@@ -138,9 +139,11 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
                                .writable = found.pte.writable,
                                .cache_inhibited = found.pte.cache_inhibited};
         InstallTlbEntry(ea, vp, info, kind);
+        machine_.RecordLatency(LatencyProbe::kTlbReloadHardware, reload_start);
         return info;
       }
       ++counters.htab_misses;
+      machine_.probes().RecordHashMiss(htab_.PrimaryPteg(vp));
       machine_.Trace(TraceEvent::kHtabMiss, ea.EffPageNumber());
       // Hash-table miss interrupt into the software handler (§5: at least 91 cycles).
       machine_.AddCycles(Cycles(config.hash_miss_interrupt_cycles));
@@ -154,6 +157,7 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
         const HtabSearchResult refound = htab_.Search(vp, pt_charger);
         PPCMM_CHECK_MSG(refound.found, "freshly inserted HTAB entry must be found on retry");
         InstallTlbEntry(ea, vp, *info, kind);
+        machine_.RecordLatency(LatencyProbe::kTlbReloadHardware, reload_start);
       }
       return info;
     }
@@ -170,13 +174,16 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
                                .writable = found.pte.writable,
                                .cache_inhibited = found.pte.cache_inhibited};
         InstallTlbEntry(ea, vp, info, kind);
+        machine_.RecordLatency(LatencyProbe::kTlbReloadSoftwareHtab, reload_start);
         return info;
       }
       ++counters.htab_misses;
+      machine_.probes().RecordHashMiss(htab_.PrimaryPteg(vp));
       machine_.Trace(TraceEvent::kHtabMiss, ea.EffPageNumber());
       std::optional<PteWalkInfo> info = SoftwareRefill(ea, vp, /*insert_into_htab=*/true);
       if (info.has_value()) {
         InstallTlbEntry(ea, vp, *info, kind);
+        machine_.RecordLatency(LatencyProbe::kTlbReloadSoftwareHtab, reload_start);
       }
       return info;
     }
@@ -189,6 +196,7 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
       std::optional<PteWalkInfo> info = SoftwareRefill(ea, vp, /*insert_into_htab=*/false);
       if (info.has_value()) {
         InstallTlbEntry(ea, vp, *info, kind);
+        machine_.RecordLatency(LatencyProbe::kTlbReloadSoftwareDirect, reload_start);
       }
       return info;
     }

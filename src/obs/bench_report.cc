@@ -1,0 +1,94 @@
+#include "src/obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include <errno.h>
+
+namespace ppcmm {
+
+void BenchReport::BeginSection(const std::string& title) {
+  sections_.push_back(Section{.title = title, .metrics = {}});
+}
+
+BenchReport::Section& BenchReport::CurrentSection() {
+  if (sections_.empty()) {
+    sections_.push_back(Section{.title = "", .metrics = {}});
+  }
+  return sections_.back();
+}
+
+void BenchReport::Add(const std::string& metric, double value, const std::string& unit) {
+  CurrentSection().metrics.push_back(Metric{.name = metric, .value = value, .unit = unit});
+}
+
+void BenchReport::AddComparison(const std::string& metric, double paper, double measured,
+                                const std::string& unit) {
+  CurrentSection().metrics.push_back(Metric{
+      .name = metric, .value = measured, .unit = unit, .has_paper = true, .paper = paper});
+}
+
+void BenchReport::AddCounters(const std::string& prefix, const HwCounters& counters) {
+  counters.ForEachField([&](const char* name, uint64_t value, bool /*is_gauge*/) {
+    Add(prefix + "." + name, static_cast<double>(value));
+  });
+}
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", name_);
+  JsonValue sections = JsonValue::Array();
+  for (const Section& section : sections_) {
+    JsonValue s = JsonValue::Object();
+    s.Set("title", section.title);
+    JsonValue metrics = JsonValue::Array();
+    for (const Metric& m : section.metrics) {
+      JsonValue row = JsonValue::Object();
+      row.Set("name", m.name);
+      row.Set("value", m.value);
+      if (!m.unit.empty()) {
+        row.Set("unit", m.unit);
+      }
+      if (m.has_paper) {
+        row.Set("paper", m.paper);
+      }
+      metrics.Append(std::move(row));
+    }
+    s.Set("metrics", std::move(metrics));
+    sections.Append(std::move(s));
+  }
+  doc.Set("sections", std::move(sections));
+  return doc;
+}
+
+bool BenchReport::WriteTo(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + (name_.empty() ? "unnamed" : name_) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson().Serialize() << "\n";
+  return out.good();
+}
+
+BenchReport& BenchReport::Global() {
+  static BenchReport* report = [] {
+    auto* r = new BenchReport();
+#ifdef __GLIBC__
+    if (program_invocation_short_name != nullptr) {
+      r->SetName(program_invocation_short_name);
+    }
+#endif
+    std::atexit([] {
+      const char* dir = std::getenv("PPCMM_BENCH_OUT");
+      BenchReport& g = Global();
+      if (dir != nullptr && dir[0] != '\0' && !g.Empty()) {
+        g.WriteTo(dir);
+      }
+    });
+    return r;
+  }();
+  return *report;
+}
+
+}  // namespace ppcmm

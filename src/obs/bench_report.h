@@ -1,0 +1,73 @@
+// BenchReport: the machine-readable twin of the benches' printf output.
+//
+// Every bench already narrates paper-vs-measured numbers through bench_util.h; those same
+// calls now also land here, grouped into sections, so each bench binary can emit a
+// BENCH_<name>.json without touching its measurement code. The global report writes itself
+// at process exit when PPCMM_BENCH_OUT names a directory — bench/run_all.sh sets it, plain
+// interactive runs pay nothing.
+
+#ifndef PPCMM_SRC_OBS_BENCH_REPORT_H_
+#define PPCMM_SRC_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/sim/hw_counters.h"
+
+namespace ppcmm {
+
+// One bench run's metrics, grouped into titled sections.
+class BenchReport {
+ public:
+  // The report (and output file) name; defaults to the executable's basename.
+  void SetName(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  // Starts a new section; subsequent Add* calls land in it. Called by Headline().
+  void BeginSection(const std::string& title);
+
+  // One metric row. Rows before any BeginSection go into an unnamed leading section.
+  void Add(const std::string& metric, double value, const std::string& unit = "");
+  // The PaperVsMeasured shape: both columns, same row.
+  void AddComparison(const std::string& metric, double paper, double measured,
+                     const std::string& unit);
+  // Every HwCounters field as a "<prefix>.<field>" row (X-macro driven).
+  void AddCounters(const std::string& prefix, const HwCounters& counters);
+
+  bool Empty() const { return sections_.empty(); }
+
+  // {"bench":name,"sections":[{"title":...,"metrics":[{"name","value","unit",("paper")}]}]}
+  JsonValue ToJson() const;
+
+  // Serializes to `<dir>/BENCH_<name>.json`. Returns false (and stays quiet) on I/O error.
+  bool WriteTo(const std::string& dir) const;
+
+  // The process-wide report that bench_util.h feeds. First use arms an atexit hook that
+  // writes the report to $PPCMM_BENCH_OUT (when set and the report is non-empty).
+  static BenchReport& Global();
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+    bool has_paper = false;
+    double paper = 0.0;
+  };
+  struct Section {
+    std::string title;
+    std::vector<Metric> metrics;
+  };
+
+  Section& CurrentSection();
+
+  std::string name_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_OBS_BENCH_REPORT_H_

@@ -1,0 +1,81 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace ppcmm {
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(total_))));
+  uint64_t cumulative = 0;
+  for (uint32_t bucket = 0; bucket < kBuckets; ++bucket) {
+    cumulative += counts_[bucket];
+    if (cumulative >= rank) {
+      return std::min(BucketUpperEdge(bucket), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  for (uint32_t bucket = 0; bucket < kBuckets; ++bucket) {
+    counts_[bucket] += other.counts_[bucket];
+  }
+  if (total_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Clear() { *this = LatencyHistogram(); }
+
+JsonValue LatencyHistogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", total_);
+  out.Set("sum", sum_);
+  out.Set("min", Min());
+  out.Set("max", max_);
+  out.Set("mean", Mean());
+  out.Set("p50", Percentile(0.50));
+  out.Set("p95", Percentile(0.95));
+  out.Set("p99", Percentile(0.99));
+  JsonValue buckets = JsonValue::Array();
+  for (uint32_t bucket = 0; bucket < kBuckets; ++bucket) {
+    if (counts_[bucket] == 0) {
+      continue;
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("le", BucketUpperEdge(bucket));
+    entry.Set("count", counts_[bucket]);
+    buckets.Append(std::move(entry));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(total_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.95)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,134 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/stats.h"
+#include "src/core/system.h"
+#include "src/obs/probes.h"
+
+namespace ppcmm {
+
+const uint64_t* MetricsSnapshot::FindCounter(const std::string& name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const double* MetricsSnapshot::FindGauge(const std::string& name) const {
+  for (const auto& [k, v] : gauges) {
+    if (k == name) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d;
+  d.cycle = cycle - earlier.cycle;
+  d.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    const uint64_t* base = earlier.FindCounter(name);
+    d.counters.emplace_back(name, base != nullptr ? value - *base : value);
+  }
+  d.gauges = gauges;
+  return d;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("cycle", cycle);
+  JsonValue counter_obj = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counter_obj.Set(name, value);
+  }
+  out.Set("counters", std::move(counter_obj));
+  JsonValue gauge_obj = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauge_obj.Set(name, value);
+  }
+  out.Set("gauges", std::move(gauge_obj));
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::ostringstream oss;
+  oss << "metric,value\n";
+  oss << "cycle," << cycle << "\n";
+  for (const auto& [name, value] : counters) {
+    oss << name << "," << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    oss << name << "," << JsonNumber(value) << "\n";
+  }
+  return oss.str();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  Machine& machine = system_.machine();
+  const HwCounters& hw = machine.counters();
+  snap.cycle = hw.cycles;
+
+  hw.ForEachField([&](const char* name, uint64_t value, bool is_gauge) {
+    const std::string key = std::string("hw.") + name;
+    if (is_gauge) {
+      snap.gauges.emplace_back(key, static_cast<double>(value));
+    } else {
+      snap.counters.emplace_back(key, value);
+    }
+  });
+
+  system_.kernel().ForEachTask([&](Task& task) {
+    const std::string prefix = "task." + std::to_string(task.id.value) + ".";
+    snap.counters.emplace_back(prefix + "page_faults", task.obs.page_faults);
+    snap.counters.emplace_back(prefix + "cow_faults", task.obs.cow_faults);
+    snap.counters.emplace_back(prefix + "switches_in", task.obs.switches_in);
+  });
+
+  // Derived system gauges, computed over the whole run so far.
+  const SystemStats stats = ComputeStats(system_, hw);
+  snap.gauges.emplace_back("sys.htab_utilization", stats.htab_utilization);
+  snap.gauges.emplace_back("sys.htab_valid", stats.htab_valid);
+  snap.gauges.emplace_back("sys.htab_live", stats.htab_live);
+  snap.gauges.emplace_back("sys.htab_zombies",
+                           static_cast<double>(stats.htab_valid - stats.htab_live));
+  snap.gauges.emplace_back("sys.htab_hit_rate", stats.htab_hit_rate);
+  snap.gauges.emplace_back("sys.evict_to_reload_ratio", stats.evict_to_reload_ratio);
+  snap.gauges.emplace_back("sys.dtlb_miss_rate", stats.dtlb_miss_rate);
+  snap.gauges.emplace_back("sys.itlb_miss_rate", stats.itlb_miss_rate);
+  snap.gauges.emplace_back("sys.tlb_kernel_share", stats.tlb_kernel_share);
+
+  // Latency distributions (all zero while probes are disabled).
+  const LatencyProbes& probes = machine.probes();
+  for (uint32_t i = 0; i < kNumLatencyProbes; ++i) {
+    const LatencyProbe probe = static_cast<LatencyProbe>(i);
+    const LatencyHistogram& h = probes.histogram(probe);
+    const std::string prefix = std::string("lat.") + LatencyProbeName(probe) + ".";
+    snap.counters.emplace_back(prefix + "count", h.TotalCount());
+    snap.gauges.emplace_back(prefix + "p50", static_cast<double>(h.Percentile(0.50)));
+    snap.gauges.emplace_back(prefix + "p95", static_cast<double>(h.Percentile(0.95)));
+    snap.gauges.emplace_back(prefix + "p99", static_cast<double>(h.Percentile(0.99)));
+    snap.gauges.emplace_back(prefix + "max", static_cast<double>(h.Max()));
+    snap.gauges.emplace_back(prefix + "mean", h.Mean());
+  }
+
+  // The §5.2 hash-miss spread: how unevenly misses land across PTEGs.
+  const std::vector<uint64_t>& miss = probes.hash_miss_per_pteg();
+  uint64_t miss_total = 0, miss_max = 0, ptegs_hit = 0;
+  for (const uint64_t m : miss) {
+    miss_total += m;
+    miss_max = std::max(miss_max, m);
+    ptegs_hit += m > 0 ? 1 : 0;
+  }
+  snap.counters.emplace_back("lat.htab_hash_miss.total", miss_total);
+  snap.gauges.emplace_back("lat.htab_hash_miss.max_per_pteg", static_cast<double>(miss_max));
+  snap.gauges.emplace_back("lat.htab_hash_miss.ptegs_touched", static_cast<double>(ptegs_hit));
+  return snap;
+}
+
+}  // namespace ppcmm

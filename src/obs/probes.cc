@@ -1,0 +1,42 @@
+#include "src/obs/probes.h"
+
+namespace ppcmm {
+
+const char* LatencyProbeName(LatencyProbe probe) {
+  switch (probe) {
+    case LatencyProbe::kTlbReloadHardware:
+      return "tlb_reload_hardware";
+    case LatencyProbe::kTlbReloadSoftwareHtab:
+      return "tlb_reload_software_htab";
+    case LatencyProbe::kTlbReloadSoftwareDirect:
+      return "tlb_reload_software_direct";
+    case LatencyProbe::kPageFault:
+      return "page_fault";
+    case LatencyProbe::kCowFault:
+      return "cow_fault";
+    case LatencyProbe::kRangeFlushEager:
+      return "range_flush_eager";
+    case LatencyProbe::kContextFlushLazy:
+      return "context_flush_lazy";
+    case LatencyProbe::kIdleReclaimPass:
+      return "idle_reclaim_pass";
+  }
+  return "?";
+}
+
+uint64_t LatencyProbes::TotalRecorded() const {
+  uint64_t total = 0;
+  for (const LatencyHistogram& h : histograms_) {
+    total += h.TotalCount();
+  }
+  return total;
+}
+
+void LatencyProbes::Clear() {
+  for (LatencyHistogram& h : histograms_) {
+    h.Clear();
+  }
+  hash_miss_per_pteg_.clear();
+}
+
+}  // namespace ppcmm

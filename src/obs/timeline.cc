@@ -1,0 +1,86 @@
+#include "src/obs/timeline.h"
+
+#include <sstream>
+
+#include "src/core/stats.h"
+#include "src/core/system.h"
+
+namespace ppcmm {
+
+TimelineSampler::TimelineSampler(System& system, Cycles period)
+    : system_(system), period_(period) {}
+
+TimelineSampler::~TimelineSampler() { Uninstall(); }
+
+void TimelineSampler::Install() {
+  system_.kernel().SetTickHook([this] { Tick(); });
+  installed_ = true;
+}
+
+void TimelineSampler::Uninstall() {
+  if (installed_) {
+    system_.kernel().SetTickHook(nullptr);
+    installed_ = false;
+  }
+}
+
+void TimelineSampler::Tick() {
+  if (system_.machine().counters().cycles >= next_sample_cycle_) {
+    SampleNow();
+  }
+}
+
+void TimelineSampler::SampleNow() {
+  const HwCounters& now = system_.machine().counters();
+  const HwCounters interval = now.Diff(last_counters_);
+  const SystemStats stats = ComputeStats(system_, interval);
+
+  TimelineSample sample;
+  sample.cycle = now.cycles;
+  sample.htab_utilization = stats.htab_utilization;
+  sample.htab_valid = stats.htab_valid;
+  sample.htab_zombies = stats.htab_valid - stats.htab_live;
+  sample.evict_to_reload_ratio = stats.evict_to_reload_ratio;
+  sample.tlb_kernel_share = stats.tlb_kernel_share;
+  sample.context_switches = now.context_switches;
+  sample.page_faults = now.page_faults;
+  samples_.push_back(sample);
+
+  last_counters_ = now;
+  next_sample_cycle_ = now.cycles + period_.value;
+}
+
+JsonValue TimelineSampler::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("period_cycles", period_.value);
+  JsonValue rows = JsonValue::Array();
+  for (const TimelineSample& s : samples_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("cycle", s.cycle);
+    row.Set("htab_utilization", s.htab_utilization);
+    row.Set("htab_valid", s.htab_valid);
+    row.Set("htab_zombies", s.htab_zombies);
+    row.Set("evict_to_reload_ratio", s.evict_to_reload_ratio);
+    row.Set("tlb_kernel_share", s.tlb_kernel_share);
+    row.Set("context_switches", s.context_switches);
+    row.Set("page_faults", s.page_faults);
+    rows.Append(std::move(row));
+  }
+  out.Set("samples", std::move(rows));
+  return out;
+}
+
+std::string TimelineSampler::ToCsv() const {
+  std::ostringstream oss;
+  oss << "cycle,htab_utilization,htab_valid,htab_zombies,evict_to_reload_ratio,"
+         "tlb_kernel_share,context_switches,page_faults\n";
+  for (const TimelineSample& s : samples_) {
+    oss << s.cycle << "," << JsonNumber(s.htab_utilization) << "," << s.htab_valid << ","
+        << s.htab_zombies << "," << JsonNumber(s.evict_to_reload_ratio) << ","
+        << JsonNumber(s.tlb_kernel_share) << "," << s.context_switches << ","
+        << s.page_faults << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ppcmm

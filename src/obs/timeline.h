@@ -1,0 +1,76 @@
+// TimelineSampler: a periodic time series of system health, driven by the scheduler tick.
+//
+// Where MetricsRegistry answers "what happened over the whole run", the timeline answers
+// "when": HTAB utilization climbing toward the §7 zombie plateau, the evict/reload ratio
+// spiking during a fork storm, the kernel's TLB share drifting up when BATs are off. The
+// kernel has no timer interrupt, so the sampler piggybacks on scheduler activations
+// (context switches and idle entries) and samples whenever at least one period of simulated
+// cycles has elapsed since the last sample.
+
+#ifndef PPCMM_SRC_OBS_TIMELINE_H_
+#define PPCMM_SRC_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/sim/cycle_types.h"
+#include "src/sim/hw_counters.h"
+
+namespace ppcmm {
+
+class System;
+
+// One row of the time series.
+struct TimelineSample {
+  uint64_t cycle = 0;
+  double htab_utilization = 0.0;
+  uint32_t htab_valid = 0;
+  uint32_t htab_zombies = 0;  // valid entries whose VSID matches no live context
+  double evict_to_reload_ratio = 0.0;  // over the interval since the previous sample
+  double tlb_kernel_share = 0.0;
+  uint64_t context_switches = 0;  // cumulative, for aligning with other tools
+  uint64_t page_faults = 0;       // cumulative
+};
+
+// Collects TimelineSamples from a System at a fixed cycle period.
+class TimelineSampler {
+ public:
+  // Samples at most once per `period` simulated cycles. Does not install itself; call
+  // Install() (or invoke Tick()/SampleNow() by hand from a harness loop).
+  TimelineSampler(System& system, Cycles period);
+  ~TimelineSampler();
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  // Hooks the kernel's scheduler tick so sampling is automatic. Displaces any previously
+  // installed tick hook; Uninstall() (also run by the destructor) clears it.
+  void Install();
+  void Uninstall();
+
+  // Takes a sample if at least one period elapsed since the last one.
+  void Tick();
+  // Takes a sample unconditionally.
+  void SampleNow();
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  // {"period_cycles":N,"samples":[{...}, ...]}
+  JsonValue ToJson() const;
+  // Header row + one CSV row per sample.
+  std::string ToCsv() const;
+
+ private:
+  System& system_;
+  Cycles period_;
+  uint64_t next_sample_cycle_ = 0;
+  bool installed_ = false;
+  HwCounters last_counters_;  // interval basis for rate gauges
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_OBS_TIMELINE_H_

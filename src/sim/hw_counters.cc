@@ -6,33 +6,12 @@ namespace ppcmm {
 
 HwCounters HwCounters::Diff(const HwCounters& earlier) const {
   HwCounters d;
-  d.cycles = cycles - earlier.cycles;
-  d.itlb_accesses = itlb_accesses - earlier.itlb_accesses;
-  d.itlb_misses = itlb_misses - earlier.itlb_misses;
-  d.dtlb_accesses = dtlb_accesses - earlier.dtlb_accesses;
-  d.dtlb_misses = dtlb_misses - earlier.dtlb_misses;
-  d.bat_translations = bat_translations - earlier.bat_translations;
-  d.htab_searches = htab_searches - earlier.htab_searches;
-  d.htab_hits = htab_hits - earlier.htab_hits;
-  d.htab_misses = htab_misses - earlier.htab_misses;
-  d.htab_reloads = htab_reloads - earlier.htab_reloads;
-  d.htab_evicts = htab_evicts - earlier.htab_evicts;
-  d.htab_zombie_overwrites = htab_zombie_overwrites - earlier.htab_zombie_overwrites;
-  d.htab_flush_memory_refs = htab_flush_memory_refs - earlier.htab_flush_memory_refs;
-  d.zombies_reclaimed = zombies_reclaimed - earlier.zombies_reclaimed;
-  d.page_faults = page_faults - earlier.page_faults;
-  d.pte_tree_walks = pte_tree_walks - earlier.pte_tree_walks;
-  d.dirty_bit_updates = dirty_bit_updates - earlier.dirty_bit_updates;
-  d.tlb_page_flushes = tlb_page_flushes - earlier.tlb_page_flushes;
-  d.tlb_context_flushes = tlb_context_flushes - earlier.tlb_context_flushes;
-  d.vsid_epoch_rollovers = vsid_epoch_rollovers - earlier.vsid_epoch_rollovers;
-  d.syscalls = syscalls - earlier.syscalls;
-  d.context_switches = context_switches - earlier.context_switches;
-  d.pages_zeroed_on_demand = pages_zeroed_on_demand - earlier.pages_zeroed_on_demand;
-  d.pages_zeroed_in_idle = pages_zeroed_in_idle - earlier.pages_zeroed_in_idle;
-  d.prezeroed_page_hits = prezeroed_page_hits - earlier.prezeroed_page_hits;
-  d.idle_invocations = idle_invocations - earlier.idle_invocations;
-  d.kernel_tlb_highwater = kernel_tlb_highwater;  // gauge: keep the later value
+#define PPCMM_DIFF_COUNTER(name, comment) d.name = name - earlier.name;
+#define PPCMM_DIFF_GAUGE(name, comment) d.name = name;  // gauge: keep the later value
+  PPCMM_HW_COUNTER_FIELDS(PPCMM_DIFF_COUNTER)
+  PPCMM_HW_GAUGE_FIELDS(PPCMM_DIFF_GAUGE)
+#undef PPCMM_DIFF_COUNTER
+#undef PPCMM_DIFF_GAUGE
   return d;
 }
 
@@ -57,24 +36,9 @@ double HwCounters::EvictToReloadRatio() const {
 
 std::string HwCounters::ToString() const {
   std::ostringstream oss;
-  oss << "cycles=" << cycles << "\n"
-      << "itlb: accesses=" << itlb_accesses << " misses=" << itlb_misses << "\n"
-      << "dtlb: accesses=" << dtlb_accesses << " misses=" << dtlb_misses << "\n"
-      << "bat_translations=" << bat_translations << "\n"
-      << "htab: searches=" << htab_searches << " hits=" << htab_hits << " misses=" << htab_misses
-      << " reloads=" << htab_reloads << " evicts=" << htab_evicts
-      << " zombie_overwrites=" << htab_zombie_overwrites << "\n"
-      << "htab_flush_memory_refs=" << htab_flush_memory_refs
-      << " zombies_reclaimed=" << zombies_reclaimed << "\n"
-      << "page_faults=" << page_faults << " pte_tree_walks=" << pte_tree_walks
-      << " dirty_bit_updates=" << dirty_bit_updates << "\n"
-      << "flushes: page=" << tlb_page_flushes << " context=" << tlb_context_flushes
-      << " vsid_epoch_rollovers=" << vsid_epoch_rollovers << "\n"
-      << "syscalls=" << syscalls << " context_switches=" << context_switches << "\n"
-      << "zeroing: demand=" << pages_zeroed_on_demand << " idle=" << pages_zeroed_in_idle
-      << " prezeroed_hits=" << prezeroed_page_hits << " idle_invocations=" << idle_invocations
-      << "\n"
-      << "kernel_tlb_highwater=" << kernel_tlb_highwater << "\n";
+  ForEachField([&](const char* name, uint64_t value, bool /*is_gauge*/) {
+    oss << name << "=" << value << "\n";
+  });
   return oss.str();
 }
 

@@ -3,6 +3,11 @@
 // Plays the role of the PPC 604 hardware performance monitor (and the 603 software counters)
 // the paper used to "count every TLB and cache miss" (§4). Every layer of the simulator
 // increments these; benchmarks snapshot and diff them around measured regions.
+//
+// The field set is defined once, by the X-macros below. Diff(), ToString(), and
+// ForEachField() are generated from the same list, so adding a counter means adding one
+// X(...) line — it is impossible to add a field that Diff or ToString silently skips
+// (a static_assert pins sizeof(HwCounters) to the list length).
 
 #ifndef PPCMM_SRC_SIM_HW_COUNTERS_H_
 #define PPCMM_SRC_SIM_HW_COUNTERS_H_
@@ -12,54 +17,76 @@
 
 #include "src/sim/cycle_types.h"
 
+// Monotonic event counts: X(field, comment). Diff subtracts these.
+#define PPCMM_HW_COUNTER_FIELDS(X)                                                          \
+  /* Time. */                                                                               \
+  X(cycles, "simulated cycles")                                                             \
+  /* TLB behaviour. */                                                                      \
+  X(itlb_accesses, "instruction TLB lookups")                                               \
+  X(itlb_misses, "instruction TLB misses")                                                  \
+  X(dtlb_accesses, "data TLB lookups")                                                      \
+  X(dtlb_misses, "data TLB misses")                                                         \
+  X(bat_translations, "accesses satisfied by a BAT register (no TLB use)")                  \
+  /* Hashed page table behaviour. */                                                        \
+  X(htab_searches, "TLB-miss-time searches (hardware or software)")                         \
+  X(htab_hits, "searches that found the PTE")                                               \
+  X(htab_misses, "searches that fell through to the PTE tree")                              \
+  X(htab_reloads, "PTEs inserted into the HTAB")                                            \
+  X(htab_evicts, "inserts that displaced a valid (live-VSID) PTE")                          \
+  X(htab_zombie_overwrites, "inserts that displaced a zombie (dead-VSID) PTE")              \
+  X(htab_flush_memory_refs, "memory references spent searching during flushes")             \
+  X(zombies_reclaimed, "zombie PTEs invalidated by the idle task")                          \
+  /* Page-fault path. */                                                                    \
+  X(page_faults, "Linux-level faults (PTE absent in the tree)")                             \
+  X(pte_tree_walks, "software walks of the two-level tree")                                 \
+  X(dirty_bit_updates, "deferred C-bit traps (first store to a clean page)")                \
+  /* Flushing. */                                                                           \
+  X(tlb_page_flushes, "per-page invalidations (tlbie-style)")                               \
+  X(tlb_context_flushes, "whole-context (VSID reassignment) flushes")                       \
+  X(vsid_epoch_rollovers, "24-bit VSID space wraps (global flush + reassign)")              \
+  /* Kernel activity. */                                                                    \
+  X(syscalls, "system calls")                                                               \
+  X(context_switches, "task switches")                                                      \
+  X(pages_zeroed_on_demand, "zeroed inside get_free_page()")                                \
+  X(pages_zeroed_in_idle, "zeroed by the idle task")                                        \
+  X(prezeroed_page_hits, "get_free_page() served from the zeroed list")                     \
+  X(idle_invocations, "idle task entries")
+
+// Gauges: instantaneous values, not diffable; Diff keeps the later value.
+#define PPCMM_HW_GAUGE_FIELDS(X)                                                            \
+  X(kernel_tlb_highwater, "max TLB entries simultaneously holding kernel PTEs")
+
 namespace ppcmm {
 
 // One monotonically increasing set of event counts. All fields count events since
 // construction (or the last explicit reset); use Diff() for interval measurements.
 struct HwCounters {
-  // Time.
-  uint64_t cycles = 0;
+#define PPCMM_DECLARE_FIELD(name, comment) uint64_t name = 0;
+  PPCMM_HW_COUNTER_FIELDS(PPCMM_DECLARE_FIELD)
+  PPCMM_HW_GAUGE_FIELDS(PPCMM_DECLARE_FIELD)
+#undef PPCMM_DECLARE_FIELD
 
-  // TLB behaviour.
-  uint64_t itlb_accesses = 0;
-  uint64_t itlb_misses = 0;
-  uint64_t dtlb_accesses = 0;
-  uint64_t dtlb_misses = 0;
-  uint64_t bat_translations = 0;  // accesses satisfied by a BAT register (no TLB use)
-
-  // Hashed page table behaviour.
-  uint64_t htab_searches = 0;          // TLB-miss-time searches (hardware or software)
-  uint64_t htab_hits = 0;              // searches that found the PTE
-  uint64_t htab_misses = 0;            // searches that fell through to the PTE tree
-  uint64_t htab_reloads = 0;           // PTEs inserted into the HTAB
-  uint64_t htab_evicts = 0;            // inserts that displaced a valid (live-VSID) PTE
-  uint64_t htab_zombie_overwrites = 0; // inserts that displaced a zombie (dead-VSID) PTE
-  uint64_t htab_flush_memory_refs = 0; // memory references spent searching during flushes
-  uint64_t zombies_reclaimed = 0;      // zombie PTEs invalidated by the idle task
-
-  // Page-fault path.
-  uint64_t page_faults = 0;        // Linux-level faults (PTE absent in the tree)
-  uint64_t pte_tree_walks = 0;     // software walks of the two-level tree
-  uint64_t dirty_bit_updates = 0;  // deferred C-bit traps (first store to a clean page)
-
-  // Flushing.
-  uint64_t tlb_page_flushes = 0;      // per-page invalidations (tlbie-style)
-  uint64_t tlb_context_flushes = 0;   // whole-context (VSID reassignment) flushes
-  uint64_t vsid_epoch_rollovers = 0;  // 24-bit VSID space wraps (global flush + reassign)
-
-  // Kernel activity.
-  uint64_t syscalls = 0;
-  uint64_t context_switches = 0;
-  uint64_t pages_zeroed_on_demand = 0;  // zeroed inside get_free_page()
-  uint64_t pages_zeroed_in_idle = 0;    // zeroed by the idle task
-  uint64_t prezeroed_page_hits = 0;     // get_free_page() served from the zeroed list
-  uint64_t idle_invocations = 0;
-
-  // Gauges (not diffable event counts, but carried here for reporting convenience).
-  uint64_t kernel_tlb_highwater = 0;  // max TLB entries simultaneously holding kernel PTEs
+  static constexpr uint32_t kNumCounterFields =
+#define PPCMM_COUNT_FIELD(name, comment) +1
+      PPCMM_HW_COUNTER_FIELDS(PPCMM_COUNT_FIELD);
+  static constexpr uint32_t kNumGaugeFields = PPCMM_HW_GAUGE_FIELDS(PPCMM_COUNT_FIELD);
+#undef PPCMM_COUNT_FIELD
+  static constexpr uint32_t kNumFields = kNumCounterFields + kNumGaugeFields;
 
   // Returns counters for the interval since `earlier` (gauges keep the later value).
   HwCounters Diff(const HwCounters& earlier) const;
+
+  // Calls fn(name, value, is_gauge) for every field, in declaration order. Generated from
+  // the same X-macro as the fields themselves, so it can never go stale.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define PPCMM_VISIT_COUNTER(name, comment) fn(#name, name, /*is_gauge=*/false);
+#define PPCMM_VISIT_GAUGE(name, comment) fn(#name, name, /*is_gauge=*/true);
+    PPCMM_HW_COUNTER_FIELDS(PPCMM_VISIT_COUNTER)
+    PPCMM_HW_GAUGE_FIELDS(PPCMM_VISIT_GAUGE)
+#undef PPCMM_VISIT_COUNTER
+#undef PPCMM_VISIT_GAUGE
+  }
 
   // Derived rates.
   double DtlbMissRate() const;
@@ -68,9 +95,14 @@ struct HwCounters {
   // entry — live or zombie, since the reload code cannot tell them apart.
   double EvictToReloadRatio() const;
 
-  // Multi-line human-readable dump.
+  // Multi-line human-readable dump: one "name=value" per line, declaration order.
   std::string ToString() const;
 };
+
+// Every field must be on exactly one of the X-macro lists: a uint64_t added to the struct
+// directly would change sizeof without changing kNumFields and fail here.
+static_assert(sizeof(HwCounters) == HwCounters::kNumFields * sizeof(uint64_t),
+              "HwCounters field added outside PPCMM_HW_COUNTER_FIELDS/PPCMM_HW_GAUGE_FIELDS");
 
 }  // namespace ppcmm
 

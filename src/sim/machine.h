@@ -7,6 +7,7 @@
 #ifndef PPCMM_SRC_SIM_MACHINE_H_
 #define PPCMM_SRC_SIM_MACHINE_H_
 
+#include "src/obs/probes.h"
 #include "src/sim/cache.h"
 #include "src/sim/cycle_types.h"
 #include "src/sim/hw_counters.h"
@@ -37,10 +38,18 @@ class Machine {
   HwCounters& counters() { return counters_; }
   const HwCounters& counters() const { return counters_; }
   TraceBuffer& trace() { return trace_; }
+  LatencyProbes& probes() { return probes_; }
+  const LatencyProbes& probes() const { return probes_; }
 
   // Records an event at the current cycle (no-op unless tracing is enabled).
   void Trace(TraceEvent event, uint32_t a = 0, uint32_t b = 0) {
     trace_.Record(counters_.cycles, event, a, b);
+  }
+
+  // Records the elapsed simulated cycles since `start` into a latency histogram (no-op
+  // unless probes are enabled). Pure observation: never advances the clock.
+  void RecordLatency(LatencyProbe probe, Cycles start) {
+    probes_.Record(probe, counters_.cycles - start.value);
   }
 
   // Adds raw execution cycles (instruction issue, interrupt overheads, handler bodies).
@@ -72,6 +81,7 @@ class Machine {
   std::unique_ptr<Cache> l2_;
   HwCounters counters_;
   TraceBuffer trace_;
+  LatencyProbes probes_;
 };
 
 }  // namespace ppcmm

@@ -31,6 +31,12 @@ const char* TraceEventName(TraceEvent event) {
       return "idle_slice";
     case TraceEvent::kDirtyBitUpdate:
       return "dirty_bit_update";
+    case TraceEvent::kFaultInjected:
+      return "fault_injected";
+    case TraceEvent::kOomRollback:
+      return "oom_rollback";
+    case TraceEvent::kVsidEpochRollover:
+      return "vsid_epoch_rollover";
   }
   return "unknown";
 }
@@ -43,7 +49,8 @@ void TraceBuffer::Record(uint64_t cycle, TraceEvent event, uint32_t a, uint32_t 
   if (!enabled_) {
     return;
   }
-  ring_[next_] = TraceRecord{.cycle = cycle, .event = event, .a = a, .b = b};
+  ring_[next_] =
+      TraceRecord{.cycle = cycle, .event = event, .a = a, .b = b, .task = current_task_};
   next_ = (next_ + 1) % static_cast<uint32_t>(ring_.size());
   ++total_;
   ++counts_[static_cast<uint8_t>(event) & 0xF];
@@ -72,7 +79,7 @@ std::string TraceBuffer::Dump(uint32_t max_lines) const {
   for (size_t i = start; i < records.size(); ++i) {
     const TraceRecord& r = records[i];
     oss << r.cycle << "  " << TraceEventName(r.event) << "  a=0x" << std::hex << r.a
-        << " b=0x" << r.b << std::dec << "\n";
+        << " b=0x" << r.b << std::dec << "  [task " << r.task << "]\n";
   }
   return oss.str();
 }

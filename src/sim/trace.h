@@ -3,7 +3,8 @@
 // Plays the role of the instrumentation the authors bolted onto their kernel while chasing
 // these optimizations ("having a repeatable set of benchmarks was an invaluable aid in
 // overcoming intuitions", §1 — and so is seeing the event stream). Disabled by default;
-// recording is a couple of stores when enabled.
+// recording is a couple of stores when enabled. Each record carries the task that was
+// current when it fired, so exporters can attribute events per task (Perfetto tracks).
 
 #ifndef PPCMM_SRC_SIM_TRACE_H_
 #define PPCMM_SRC_SIM_TRACE_H_
@@ -18,18 +19,26 @@ namespace ppcmm {
 // Event kinds, kept coarse on purpose: the trace answers "what happened around cycle X",
 // not "every memory reference".
 enum class TraceEvent : uint8_t {
-  kTlbMiss,         // a = effective page number, b = 1 for instruction side
-  kHtabMiss,        // a = effective page number
-  kPageFault,       // a = effective page number
-  kCowFault,        // a = effective page number
-  kContextSwitch,   // a = previous task id, b = next task id
-  kFlushPage,       // a = effective page number
-  kFlushContext,    // a = retired context, b = fresh context
-  kZombieReclaim,   // a = entries reclaimed in this idle pass
-  kSyscall,         // a = kernel-op discriminator
-  kIdleSlice,       // a = budget in cycles (truncated)
-  kDirtyBitUpdate,  // a = effective page number
+  kTlbMiss,            // a = effective page number, b = 1 for instruction side
+  kHtabMiss,           // a = effective page number
+  kPageFault,          // a = effective page number
+  kCowFault,           // a = effective page number
+  kContextSwitch,      // a = previous task id, b = next task id
+  kFlushPage,          // a = effective page number
+  kFlushContext,       // a = retired context, b = fresh context
+  kZombieReclaim,      // a = entries reclaimed in this idle pass
+  kSyscall,            // a = kernel-op discriminator
+  kIdleSlice,          // a = budget in cycles (truncated)
+  kDirtyBitUpdate,     // a = effective page number
+  kFaultInjected,      // a = FaultClass, b = total fires of that class so far
+  kOomRollback,        // a = kernel-op discriminator of the aborted operation
+  kVsidEpochRollover,  // a = new epoch count (truncated)
 };
+
+// Number of distinct TraceEvent values. Must track the enum above (the last event + 1);
+// the counts_ ring index mask in TraceBuffer asserts against it.
+inline constexpr uint32_t kNumTraceEvents =
+    static_cast<uint32_t>(TraceEvent::kVsidEpochRollover) + 1;
 
 const char* TraceEventName(TraceEvent event);
 
@@ -39,6 +48,7 @@ struct TraceRecord {
   TraceEvent event = TraceEvent::kTlbMiss;
   uint32_t a = 0;
   uint32_t b = 0;
+  uint32_t task = 0;  // task current at record time (0 = none/kernel bring-up)
 };
 
 // The ring buffer.
@@ -50,6 +60,12 @@ class TraceBuffer {
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  // Sets the task id stamped onto subsequent records. Cheap enough to call unconditionally
+  // from the context-switch path (a single store, even when tracing is disabled, so the
+  // attribution is correct the moment tracing turns on).
+  void SetCurrentTask(uint32_t task) { current_task_ = task; }
+  uint32_t current_task() const { return current_task_; }
+
   // Records an event (no-op when disabled).
   void Record(uint64_t cycle, TraceEvent event, uint32_t a = 0, uint32_t b = 0);
 
@@ -59,7 +75,7 @@ class TraceBuffer {
   uint64_t TotalRecorded() const { return total_; }
   uint64_t CountOf(TraceEvent event) const;
 
-  // Renders the retained records, one per line: "cycle  event  a b".
+  // Renders the retained records, one per line: "cycle  event  a b [task]".
   std::string Dump(uint32_t max_lines = 64) const;
 
   void Clear();
@@ -69,7 +85,9 @@ class TraceBuffer {
   uint32_t next_ = 0;
   uint64_t total_ = 0;
   bool enabled_ = false;
+  uint32_t current_task_ = 0;
   std::array<uint64_t, 16> counts_{};
+  static_assert(kNumTraceEvents <= 16, "grow counts_ and its index mask");
 };
 
 }  // namespace ppcmm

@@ -24,6 +24,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/sim/rng.h"
 
@@ -82,6 +84,13 @@ class FaultInjector {
     site(cls).armed_countdown = static_cast<int64_t>(after_polls);
   }
 
+  // Observes every fire with (class, fires-of-that-class-so-far). The kernel installs one
+  // to record kFaultInjected trace events; pass nullptr (default) to clear. The observer
+  // must not poll the injector (it would recurse).
+  void SetFireObserver(std::function<void(FaultClass, uint64_t)> observer) {
+    fire_observer_ = std::move(observer);
+  }
+
   // Called by an injection site. Returns true when the fault should fire now.
   bool ShouldFire(FaultClass cls) {
     Site& s = site(cls);
@@ -95,6 +104,9 @@ class FaultInjector {
     }
     if (fire) {
       ++s.fires;
+      if (fire_observer_) {
+        fire_observer_(cls, s.fires);
+      }
     }
     return fire;
   }
@@ -123,6 +135,7 @@ class FaultInjector {
   const Site& site(FaultClass cls) const { return sites_[static_cast<uint32_t>(cls)]; }
 
   std::array<Site, kNumFaultClasses> sites_;
+  std::function<void(FaultClass, uint64_t)> fire_observer_;
 };
 
 }  // namespace ppcmm

@@ -6,6 +6,8 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
+#include "src/obs/metrics.h"
+#include "src/obs/perfetto.h"
 #include "src/sim/rng.h"
 #include "src/verify/fault_injector.h"
 
@@ -95,6 +97,25 @@ TortureResult RunTorture(const TortureOptions& options) {
   Kernel& kernel = sys.kernel();
   result.config_desc = config.Describe();
 
+  if (options.capture_trace) {
+    sys.machine().trace().Enable();
+    sys.machine().probes().SetEnabled(true);
+  }
+  MetricsRegistry registry(sys);
+  // Exports the retained trace ring and a final metrics snapshot; run on every exit path so
+  // even a failed run leaves machine-readable evidence.
+  const auto export_obs = [&] {
+    if (!options.capture_trace) {
+      return;
+    }
+    PerfettoExportOptions popts;
+    popts.clock_mhz = sys.machine_config().clock_mhz;
+    kernel.ForEachTask(
+        [&](Task& t) { popts.task_names.emplace_back(t.id.value, t.name); });
+    result.trace_json = PerfettoTraceString(sys.machine().trace(), popts);
+    result.metrics_json = registry.Snapshot().ToJson().Serialize();
+  };
+
   FaultInjector injector(options.seed ^ 0xF417151EC7ULL);
   const std::pair<FaultClass, uint32_t> rates[] = {
       {FaultClass::kPageAllocExhaustion, options.page_alloc_exhaustion_one_in},
@@ -162,6 +183,10 @@ TortureResult RunTorture(const TortureOptions& options) {
     for (size_t i = first; i < trace.size(); ++i) {
       os << "  " << trace[i] << "\n";
     }
+    if (options.capture_trace) {
+      os << "machine trace ring (tail):\n" << sys.machine().trace().Dump(40);
+      os << "metrics snapshot:\n" << registry.Snapshot().ToJson().Serialize() << "\n";
+    }
     result.failure_report = os.str();
   };
 
@@ -176,6 +201,7 @@ TortureResult RunTorture(const TortureOptions& options) {
     models.push_back(TaskModel{init, {}});
   } catch (const CheckFailure& failure) {
     fail(0, failure.what());
+    export_obs();
     return result;
   }
 
@@ -281,6 +307,7 @@ TortureResult RunTorture(const TortureOptions& options) {
   kernel.SetFaultInjector(nullptr);
   result.fault_fires = injector.TotalFires();
   result.audit_stats = auditor.stats();
+  export_obs();
   return result;
 }
 

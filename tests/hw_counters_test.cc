@@ -60,7 +60,48 @@ TEST(HwCountersTest, ToStringMentionsKeyFields) {
   c.htab_evicts = 7;
   const std::string s = c.ToString();
   EXPECT_NE(s.find("cycles=123456"), std::string::npos);
-  EXPECT_NE(s.find("evicts=7"), std::string::npos);
+  EXPECT_NE(s.find("htab_evicts=7"), std::string::npos);
+}
+
+// The X-macro field list must enumerate the struct exactly: the layout assert in the header
+// catches added-but-unlisted fields at compile time, this catches listed-but-wrong walks.
+TEST(HwCountersTest, FieldEnumerationCoversTheWholeStruct) {
+  static_assert(HwCounters::kNumFields ==
+                HwCounters::kNumCounterFields + HwCounters::kNumGaugeFields);
+  static_assert(sizeof(HwCounters) == HwCounters::kNumFields * sizeof(uint64_t));
+
+  HwCounters c;
+  c.cycles = 1;
+  c.kernel_tlb_highwater = 99;
+  size_t fields = 0;
+  size_t gauges = 0;
+  bool saw_cycles = false;
+  bool saw_highwater_as_gauge = false;
+  c.ForEachField([&](const char* name, uint64_t value, bool is_gauge) {
+    ++fields;
+    gauges += is_gauge ? 1 : 0;
+    if (std::string(name) == "cycles") {
+      saw_cycles = true;
+      EXPECT_EQ(value, 1u);
+      EXPECT_FALSE(is_gauge);
+    }
+    if (std::string(name) == "kernel_tlb_highwater") {
+      saw_highwater_as_gauge = is_gauge;
+      EXPECT_EQ(value, 99u);
+    }
+  });
+  EXPECT_EQ(fields, HwCounters::kNumFields);
+  EXPECT_EQ(gauges, HwCounters::kNumGaugeFields);
+  EXPECT_TRUE(saw_cycles);
+  EXPECT_TRUE(saw_highwater_as_gauge);
+}
+
+TEST(HwCountersTest, ToStringListsEveryField) {
+  const HwCounters c;
+  const std::string s = c.ToString();
+  c.ForEachField([&](const char* name, uint64_t, bool) {
+    EXPECT_NE(s.find(std::string(name) + "="), std::string::npos) << name;
+  });
 }
 
 }  // namespace

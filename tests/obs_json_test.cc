@@ -1,0 +1,102 @@
+// JsonValue tests: construction, stable serialization, escaping, and the parser the
+// exporter tests use to prove their documents round-trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(JsonTest, SerializesScalars) {
+  EXPECT_EQ(JsonValue().Serialize(), "null");
+  EXPECT_EQ(JsonValue(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue(42).Serialize(), "42");
+  EXPECT_EQ(JsonValue(uint64_t{1} << 40).Serialize(), "1099511627776");
+  EXPECT_EQ(JsonValue("hi").Serialize(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(obj.Serialize(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // Set overwrites in place without reordering.
+  obj.Set("apple", 9);
+  EXPECT_EQ(obj.Serialize(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+  EXPECT_EQ(obj.Size(), 3u);
+  ASSERT_NE(obj.Find("apple"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.Find("apple")->AsNumber(), 9.0);
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("quote\"back\\slash"), "\"quote\\\"back\\\\slash\"");
+  EXPECT_EQ(JsonQuote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonQuote(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+}
+
+TEST(JsonTest, ParsesWhatItSerializes) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", "t\"est\n");
+  doc.Set("pi", 3.25);
+  doc.Set("n", -17);
+  doc.Set("flag", true);
+  doc.Set("nothing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(JsonValue::Object());
+  doc.Set("list", std::move(arr));
+
+  std::string error;
+  const auto parsed = JsonValue::Parse(doc.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("name")->AsString(), "t\"est\n");
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(parsed->Find("n")->AsNumber(), -17.0);
+  EXPECT_TRUE(parsed->Find("flag")->AsBool());
+  EXPECT_TRUE(parsed->Find("nothing")->IsNull());
+  ASSERT_TRUE(parsed->Find("list")->IsArray());
+  EXPECT_EQ(parsed->Find("list")->Items().size(), 3u);
+  EXPECT_EQ(parsed->Find("list")->Items()[1].AsString(), "two");
+  // Serialize(Parse(Serialize(x))) is a fixed point: the format is stable.
+  EXPECT_EQ(parsed->Serialize(), doc.Serialize());
+}
+
+TEST(JsonTest, ParsesHandWrittenInput) {
+  const auto parsed = JsonValue::Parse(
+      "  { \"a\" : [ 1 , 2.5e1 , -3 ] , \"s\" : \"u\\u0041x\" , \"b\":false }  ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->Items()[1].AsNumber(), 25.0);
+  EXPECT_EQ(parsed->Find("s")->AsString(), "uAx");
+  EXPECT_FALSE(parsed->Find("b")->AsBool());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "\"unterminated", "tru", "1 2", "{\"a\":1}garbage",
+        "{'single':1}", "[1,]", "nan"}) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, NumbersPrintIntegralWithoutPoint) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(-12.0), "-12");
+  // Non-integral values keep enough digits to round-trip.
+  const auto parsed = JsonValue::Parse(JsonNumber(0.1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->AsNumber(), 0.1);
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,163 @@
+// Perfetto exporter tests: a golden document for a minimal record set, plus structural
+// checks (valid JSON, monotonic timestamps, pid/tid mapping, flow pairs) on a real trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/obs/perfetto.h"
+
+namespace ppcmm {
+namespace {
+
+TraceRecord MakeRecord(uint64_t cycle, TraceEvent event, uint32_t a, uint32_t b,
+                       uint32_t task) {
+  TraceRecord r;
+  r.cycle = cycle;
+  r.event = event;
+  r.a = a;
+  r.b = b;
+  r.task = task;
+  return r;
+}
+
+// The serializer is compact and insertion-ordered, so the document for a fixed record set
+// is byte-stable: this golden catches accidental format drift.
+TEST(PerfettoTest, GoldenMinimalDocument) {
+  const std::vector<TraceRecord> records = {
+      MakeRecord(200, TraceEvent::kTlbMiss, 0x100, 0, 3),
+  };
+  PerfettoExportOptions options;
+  options.clock_mhz = 100.0;  // 200 cycles -> 2 us
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"ppcmm\"}},"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"kernel\"}},"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"task 3\"}},"
+      "{\"name\":\"tlb_miss\",\"cat\":\"mmu\",\"ph\":\"i\",\"s\":\"t\",\"ts\":2,"
+      "\"pid\":1,\"tid\":3,\"args\":{\"a\":256,\"b\":0,\"cycle\":200}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(PerfettoTraceJson(records, options).Serialize(), expected);
+}
+
+TEST(PerfettoTest, ContextSwitchEmitsFlowPair) {
+  const std::vector<TraceRecord> records = {
+      MakeRecord(100, TraceEvent::kContextSwitch, 1, 2, 1),
+  };
+  const auto parsed = JsonValue::Parse(PerfettoTraceJson(records).Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const JsonValue* start = nullptr;
+  const JsonValue* finish = nullptr;
+  for (const JsonValue& e : events->Items()) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph != nullptr && ph->AsString() == "s") {
+      start = &e;
+    }
+    if (ph != nullptr && ph->AsString() == "f") {
+      finish = &e;
+    }
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  // The arrow runs from the outgoing task's track to the incoming one's, same flow id.
+  EXPECT_DOUBLE_EQ(start->Find("tid")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(finish->Find("tid")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(start->Find("id")->AsNumber(), finish->Find("id")->AsNumber());
+  EXPECT_EQ(finish->Find("bp")->AsString(), "e");
+}
+
+TEST(PerfettoTest, ExplicitTaskNamesWinOverDefaults) {
+  const std::vector<TraceRecord> records = {
+      MakeRecord(10, TraceEvent::kPageFault, 0, 0, 7),
+  };
+  PerfettoExportOptions options;
+  options.task_names.emplace_back(7, "compiler");
+  const auto parsed = JsonValue::Parse(PerfettoTraceJson(records, options).Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  bool named = false;
+  for (const JsonValue& e : parsed->Find("traceEvents")->Items()) {
+    const JsonValue* name = e.Find("name");
+    if (name != nullptr && name->AsString() == "thread_name" &&
+        e.Find("tid")->AsNumber() == 7.0) {
+      EXPECT_EQ(e.Find("args")->Find("name")->AsString(), "compiler");
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(PerfettoTest, RealTraceIsValidMonotonicAndAttributed) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  sys.machine().trace().Enable();
+  Kernel& kernel = sys.kernel();
+  const TaskId a = kernel.CreateTask("a");
+  const TaskId b = kernel.CreateTask("b");
+  kernel.Exec(a, ExecImage{});
+  kernel.Exec(b, ExecImage{});
+  kernel.SwitchTo(a);
+  for (uint32_t i = 0; i < 8; ++i) {
+    kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+  }
+  kernel.SwitchTo(b);
+  kernel.UserTouch(EffAddr(kUserDataBase), AccessKind::kStore);
+  kernel.RunIdle(Cycles(2000));
+
+  PerfettoExportOptions options;
+  options.clock_mhz = sys.machine_config().clock_mhz;
+  options.pid = 42;
+  const std::string text = PerfettoTraceString(sys.machine().trace(), options);
+  std::string error;
+  const auto parsed = JsonValue::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->AsString(), "ms");
+
+  const auto records = sys.machine().trace().Records();
+  double last_ts = -1.0;
+  size_t instants = 0;
+  size_t flows = 0;
+  for (const JsonValue& e : parsed->Find("traceEvents")->Items()) {
+    EXPECT_DOUBLE_EQ(e.Find("pid")->AsNumber(), 42.0);
+    const std::string ph = e.Find("ph")->AsString();
+    if (ph == "M") {
+      continue;
+    }
+    const double ts = e.Find("ts")->AsNumber();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (ph == "i") {
+      ++instants;
+    } else {
+      ++flows;
+    }
+  }
+  // One instant per record; one s+f pair per context switch.
+  EXPECT_EQ(instants, records.size());
+  size_t switches = 0;
+  for (const TraceRecord& r : records) {
+    switches += r.event == TraceEvent::kContextSwitch ? 1 : 0;
+  }
+  EXPECT_GE(switches, 2u);
+  EXPECT_EQ(flows, 2 * switches);
+
+  // Instants sit on the track of the task they were attributed to.
+  size_t i = 0;
+  for (const JsonValue& e : parsed->Find("traceEvents")->Items()) {
+    if (e.Find("ph")->AsString() != "i") {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(e.Find("tid")->AsNumber(), static_cast<double>(records[i].task));
+    EXPECT_EQ(e.Find("name")->AsString(), TraceEventName(records[i].event));
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -1,0 +1,104 @@
+// TimelineSampler tests: tick-hook driven sampling, period rate-limiting, and exports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/obs/timeline.h"
+
+namespace ppcmm {
+namespace {
+
+// Churns tasks so the scheduler ticks many times and cycles accumulate.
+void Churn(System& sys, uint32_t rounds) {
+  Kernel& kernel = sys.kernel();
+  const TaskId a = kernel.CreateTask("a");
+  const TaskId b = kernel.CreateTask("b");
+  kernel.Exec(a, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 4});
+  kernel.Exec(b, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 4});
+  for (uint32_t round = 0; round < rounds; ++round) {
+    kernel.SwitchTo(round % 2 == 0 ? a : b);
+    for (uint32_t i = 0; i < 4; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + ((round * 4 + i) % 64) * kPageSize),
+                       AccessKind::kStore);
+    }
+  }
+  kernel.RunIdle(Cycles(1000));
+}
+
+TEST(TimelineTest, InstalledSamplerCollectsPeriodicSamples) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  TimelineSampler sampler(sys, Cycles(500));
+  sampler.Install();
+  Churn(sys, 40);
+  ASSERT_GE(sampler.samples().size(), 2u);
+
+  // Samples are strictly ordered and at least one period apart.
+  const auto& samples = sampler.samples();
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].cycle, samples[i - 1].cycle + 500);
+  }
+  // Cumulative counters never decrease, and the gauges are sane.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].context_switches, samples[i - 1].context_switches);
+    EXPECT_GE(samples[i].page_faults, samples[i - 1].page_faults);
+  }
+  for (const TimelineSample& s : samples) {
+    EXPECT_GE(s.htab_utilization, 0.0);
+    EXPECT_LE(s.htab_utilization, 1.0);
+    EXPECT_GE(s.htab_valid, s.htab_zombies);
+  }
+}
+
+TEST(TimelineTest, UninstallStopsSampling) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  TimelineSampler sampler(sys, Cycles(100));
+  sampler.Install();
+  Churn(sys, 10);
+  sampler.Uninstall();
+  const size_t frozen = sampler.samples().size();
+  EXPECT_GT(frozen, 0u);
+  Churn(sys, 10);
+  EXPECT_EQ(sampler.samples().size(), frozen);
+}
+
+TEST(TimelineTest, SampleNowIsUnconditional) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  TimelineSampler sampler(sys, Cycles(1'000'000'000));
+  sampler.SampleNow();
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.samples().size(), 2u);
+  // Tick respects the (enormous) period even right after SampleNow.
+  sampler.Tick();
+  EXPECT_EQ(sampler.samples().size(), 2u);
+}
+
+TEST(TimelineTest, ExportsRoundTrip) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  TimelineSampler sampler(sys, Cycles(500));
+  sampler.Install();
+  Churn(sys, 30);
+
+  std::string error;
+  const auto parsed = JsonValue::Parse(sampler.ToJson().Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(parsed->Find("period_cycles")->AsNumber(), 500.0);
+  const JsonValue* rows = parsed->Find("samples");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->Items().size(), sampler.samples().size());
+  EXPECT_DOUBLE_EQ(rows->Items()[0].Find("cycle")->AsNumber(),
+                   static_cast<double>(sampler.samples()[0].cycle));
+
+  const std::string csv = sampler.ToCsv();
+  EXPECT_EQ(csv.rfind("cycle,htab_utilization,htab_valid,htab_zombies,", 0), 0u);
+  size_t rows_in_csv = 0;
+  for (const char c : csv) {
+    rows_in_csv += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(rows_in_csv, 1 + sampler.samples().size());
+}
+
+}  // namespace
+}  // namespace ppcmm

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/json.h"
 #include "src/verify/torture.h"
 
 namespace ppcmm {
@@ -92,6 +93,52 @@ TEST(TortureTest, BrokenFlushIsCaughtWithReplayableReport) {
   EXPECT_EQ(replay.failed, true);
   EXPECT_EQ(replay.ops_executed, result.ops_executed);
   EXPECT_EQ(replay.failure_report, result.failure_report);
+}
+
+TEST(TortureTest, ExportedDocumentsRoundTripThroughTheParser) {
+  TortureOptions options;
+  options.seed = 11;
+  options.ops = 1500;
+  options.audit_period = 64;
+  options.vsid_wrap_one_in = 50;  // force rollover events into the trace
+  const TortureResult result = RunTorture(options);
+  ASSERT_FALSE(result.failed) << result.failure_report;
+
+  std::string error;
+  const auto trace = JsonValue::Parse(result.trace_json, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->Items().size(), 100u);
+  // The satellite events actually appear in a faulted run.
+  bool saw_fault_injected = false;
+  for (const JsonValue& e : events->Items()) {
+    const JsonValue* name = e.Find("name");
+    if (name != nullptr && name->AsString() == "fault_injected") {
+      saw_fault_injected = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault_injected);
+
+  const auto metrics = JsonValue::Parse(result.metrics_json, &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("hw.cycles"), nullptr);
+  EXPECT_GT(counters->Find("hw.cycles")->AsNumber(), 0.0);
+  ASSERT_NE(counters->Find("lat.page_fault.count"), nullptr);
+  EXPECT_GT(counters->Find("lat.page_fault.count")->AsNumber(), 0.0);
+}
+
+TEST(TortureTest, TraceCaptureOffYieldsEmptyDocuments) {
+  TortureOptions options;
+  options.seed = 11;
+  options.ops = 500;
+  options.capture_trace = false;
+  const TortureResult result = RunTorture(options);
+  EXPECT_FALSE(result.failed) << result.failure_report;
+  EXPECT_TRUE(result.trace_json.empty());
+  EXPECT_TRUE(result.metrics_json.empty());
 }
 
 }  // namespace

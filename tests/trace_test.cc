@@ -58,9 +58,21 @@ TEST(TraceBufferTest, DumpAndClear) {
 }
 
 TEST(TraceBufferTest, EveryEventHasAName) {
-  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kDirtyBitUpdate); ++e) {
+  for (uint32_t e = 0; e < kNumTraceEvents; ++e) {
     EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(e)), "unknown");
   }
+}
+
+TEST(TraceBufferTest, RecordsStampTheCurrentTask) {
+  TraceBuffer trace(8);
+  trace.Enable();
+  trace.Record(1, TraceEvent::kTlbMiss, 0x100);
+  trace.SetCurrentTask(5);
+  trace.Record(2, TraceEvent::kPageFault, 0x200);
+  const auto records = trace.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].task, 0u);
+  EXPECT_EQ(records[1].task, 5u);
 }
 
 TEST(TraceIntegrationTest, KernelActivityProducesTheExpectedStream) {
