@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/sim/sweep_runner.h"
 #include "src/workloads/kernel_compile.h"
 #include "src/workloads/report.h"
 
@@ -24,13 +25,15 @@ double CompileSeconds(const OptimizationConfig& config) {
   return RunKernelCompile(system, cc).seconds;
 }
 
+// Every configuration the bench measures is known up front, so build the whole lattice
+// first and sweep it across host threads; each CompileSeconds call owns its System.
+std::vector<double> CompileAll(const std::vector<OptimizationConfig>& configs) {
+  SweepRunner runner;
+  return runner.Map(configs.size(), [&](size_t i) { return CompileSeconds(configs[i]); });
+}
+
 int Main() {
   Headline("Ablation: optimization interactions on the kernel compile (604/133, 12 units)");
-
-  const double baseline = CompileSeconds(OptimizationConfig::Baseline());
-  const double full = CompileSeconds(OptimizationConfig::AllOptimizations());
-  std::printf("baseline %.3f s, all optimizations %.3f s (%.1f%% faster)\n\n", baseline, full,
-              (baseline - full) / baseline * 100.0);
 
   struct Toggle {
     std::string name;
@@ -56,19 +59,65 @@ int Main() {
        [](OptimizationConfig& c) { c.idle_zero = IdleZeroPolicy::kOff; }},
   };
 
-  TextTable table({"optimization", "alone: gain vs baseline", "removed: loss vs full set"});
-  double sum_of_alone_gains = 0;
+  // Cumulative build-up configs in roughly the paper's chronology (config construction is
+  // cheap and sequential; only the compiles fan out).
+  struct Step {
+    const char* name;
+    void (*mutate)(OptimizationConfig&);
+  };
+  const std::vector<Step> steps = {
+      {"+ BAT mapping", [](OptimizationConfig& c) { c.kernel_bat_mapping = true; }},
+      {"+ VSID scatter", [](OptimizationConfig& c) { c.vsid_scatter = kDefaultVsidScatter; }},
+      {"+ fast handlers", [](OptimizationConfig& c) { c.optimized_handlers = true; }},
+      {"+ lazy flush (cutoff 20)",
+       [](OptimizationConfig& c) {
+         c.lazy_context_flush = true;
+         c.range_flush_cutoff = 20;
+       }},
+      {"+ idle reclaim", [](OptimizationConfig& c) { c.idle_zombie_reclaim = true; }},
+      {"+ idle page zeroing",
+       [](OptimizationConfig& c) { c.idle_zero = IdleZeroPolicy::kUncachedWithList; }},
+  };
+
+  // The full measurement lattice, one flat sweep: baseline, full set, each toggle alone,
+  // each toggle removed, the cumulative build-up, and the §8 extension.
+  std::vector<OptimizationConfig> configs;
+  configs.push_back(OptimizationConfig::Baseline());
+  configs.push_back(OptimizationConfig::AllOptimizations());
   for (const Toggle& toggle : toggles) {
-    const double alone = CompileSeconds(toggle.alone);
+    configs.push_back(toggle.alone);
+  }
+  for (const Toggle& toggle : toggles) {
     OptimizationConfig without = OptimizationConfig::AllOptimizations();
     toggle.remove(without);
-    const double removed = CompileSeconds(without);
+    configs.push_back(without);
+  }
+  OptimizationConfig cumulative = OptimizationConfig::Baseline();
+  for (const Step& step : steps) {
+    step.mutate(cumulative);
+    configs.push_back(cumulative);
+  }
+  configs.push_back(OptimizationConfig::AllPlusUncachedPageTables());
+
+  const std::vector<double> seconds = CompileAll(configs);
+  size_t at = 0;
+  const double baseline = seconds[at++];
+  const double full = seconds[at++];
+  std::printf("baseline %.3f s, all optimizations %.3f s (%.1f%% faster)\n\n", baseline, full,
+              (baseline - full) / baseline * 100.0);
+
+  TextTable table({"optimization", "alone: gain vs baseline", "removed: loss vs full set"});
+  double sum_of_alone_gains = 0;
+  for (size_t i = 0; i < toggles.size(); ++i) {
+    const double alone = seconds[at + i];
+    const double removed = seconds[at + toggles.size() + i];
     const double alone_gain = (baseline - alone) / baseline * 100.0;
     const double removed_loss = (removed - full) / full * 100.0;
     sum_of_alone_gains += alone_gain;
-    table.AddRow({toggle.name, TextTable::Num(alone_gain, 1) + "%",
+    table.AddRow({toggles[i].name, TextTable::Num(alone_gain, 1) + "%",
                   TextTable::Num(removed_loss, 1) + "%"});
   }
+  at += 2 * toggles.size();
   std::printf("%s\n", table.ToString().c_str());
 
   const double combined_gain = (baseline - full) / baseline * 100.0;
@@ -77,33 +126,19 @@ int Main() {
   std::printf("Claim (\"the end effect was not the sum of all the optimizations\"): %s\n\n",
               std::abs(sum_of_alone_gains - combined_gain) > 1.0 ? "HOLDS" : "FAILS");
 
-  // Cumulative build-up in roughly the paper's chronology.
   Headline("Cumulative build-up (paper order)");
-  OptimizationConfig cumulative = OptimizationConfig::Baseline();
   TextTable build({"after adding", "compile (sim s)", "vs baseline"});
   build.AddRow({"(baseline)", TextTable::Num(baseline, 3), "0.0%"});
-  auto step = [&](const char* name, auto mutate) {
-    mutate(cumulative);
-    const double s = CompileSeconds(cumulative);
-    build.AddRow({name, TextTable::Num(s, 3),
+  for (const Step& step : steps) {
+    const double s = seconds[at++];
+    build.AddRow({step.name, TextTable::Num(s, 3),
                   TextTable::Num((baseline - s) / baseline * 100.0, 1) + "%"});
-  };
-  step("+ BAT mapping", [](OptimizationConfig& c) { c.kernel_bat_mapping = true; });
-  step("+ VSID scatter", [](OptimizationConfig& c) { c.vsid_scatter = kDefaultVsidScatter; });
-  step("+ fast handlers", [](OptimizationConfig& c) { c.optimized_handlers = true; });
-  step("+ lazy flush (cutoff 20)", [](OptimizationConfig& c) {
-    c.lazy_context_flush = true;
-    c.range_flush_cutoff = 20;
-  });
-  step("+ idle reclaim", [](OptimizationConfig& c) { c.idle_zombie_reclaim = true; });
-  step("+ idle page zeroing",
-       [](OptimizationConfig& c) { c.idle_zero = IdleZeroPolicy::kUncachedWithList; });
+  }
   std::printf("%s\n", build.ToString().c_str());
 
   // §8 extension (never shipped in the paper's kernel): uncached page tables on top.
   Headline("Section 8 extension: uncached page tables on top of the full set");
-  const double with_uncached_pt =
-      CompileSeconds(OptimizationConfig::AllPlusUncachedPageTables());
+  const double with_uncached_pt = seconds[at++];
   std::printf("  full set %.3f s, + uncached page tables %.3f s (%+.1f%%)\n", full,
               with_uncached_pt, (full - with_uncached_pt) / full * 100.0);
   return 0;

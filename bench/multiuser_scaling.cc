@@ -8,8 +8,10 @@
 // contexts multiply.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/sim/sweep_runner.h"
 #include "src/workloads/multiuser.h"
 #include "src/workloads/report.h"
 
@@ -19,17 +21,28 @@ namespace {
 int Main() {
   Headline("Multiuser scaling: aggregate throughput, baseline vs optimized (604/133)");
 
+  // One independent simulation per (user count, kernel) cell; sweep all eight across host
+  // threads and render the table from the index-ordered results.
+  const std::vector<uint32_t> user_counts = {1u, 2u, 4u, 8u};
+  SweepRunner runner;
+  const std::vector<MultiuserResult> results =
+      runner.Map(user_counts.size() * 2, [&](size_t i) {
+        MultiuserConfig config;
+        config.users = user_counts[i / 2];
+        System system(MachineConfig::Ppc604(133), i % 2 == 0
+                                                      ? OptimizationConfig::Baseline()
+                                                      : OptimizationConfig::AllOptimizations());
+        return RunMultiuserWorkload(system, config);
+      });
+
   TextTable table({"users", "baseline ops/s", "optimized ops/s", "speedup",
                    "baseline TLB miss/op", "optimized TLB miss/op"});
   double speedup_small = 0;
   double speedup_large = 0;
-  for (const uint32_t users : {1u, 2u, 4u, 8u}) {
-    MultiuserConfig config;
-    config.users = users;
-    System base(MachineConfig::Ppc604(133), OptimizationConfig::Baseline());
-    System opt(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
-    const MultiuserResult rb = RunMultiuserWorkload(base, config);
-    const MultiuserResult ro = RunMultiuserWorkload(opt, config);
+  for (size_t row = 0; row < user_counts.size(); ++row) {
+    const uint32_t users = user_counts[row];
+    const MultiuserResult& rb = results[row * 2];
+    const MultiuserResult& ro = results[row * 2 + 1];
     const double speedup = ro.ops_per_second / rb.ops_per_second;
     if (users == 1) {
       speedup_small = speedup;

@@ -2,10 +2,19 @@
 # Runs every reproduction bench and collects machine-readable BENCH_<name>.json reports
 # into bench-out/ (gitignored). Human-readable tables still go to stdout.
 #
-#   bench/run_all.sh [build-dir]     default build dir: build
+#   bench/run_all.sh [--quick] [build-dir]     default build dir: build
+#
+# --quick: smoke mode — shrunken workloads (PPCMM_QUICK=1), only the benches that finish in
+# seconds, plus a ThreadSanitizer pass over the sweep-runner tests when build-tsan exists.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  quick=1
+  shift
+fi
 build_dir=${1:-"$repo_root/build"}
 out_dir="$repo_root/bench-out"
 
@@ -18,10 +27,15 @@ fi
 mkdir -p "$out_dir"
 export PPCMM_BENCH_OUT="$out_dir"
 
-benches="table1_direct_reload table2_range_flush table3_os_comparison \
-  sec5_bat_footprint sec5_hash_utilization sec5_io_bat sec6_fast_reload \
-  sec7_idle_reclaim sec8_pagetable_cache sec9_idle_page_clear \
-  ablation_interactions multiuser_scaling"
+if [ "$quick" = 1 ]; then
+  export PPCMM_QUICK=1
+  benches="table1_direct_reload host_throughput"
+else
+  benches="table1_direct_reload table2_range_flush table3_os_comparison \
+    sec5_bat_footprint sec5_hash_utilization sec5_io_bat sec6_fast_reload \
+    sec7_idle_reclaim sec8_pagetable_cache sec9_idle_page_clear \
+    ablation_interactions multiuser_scaling host_throughput"
+fi
 
 failed=0
 for bench in $benches; do
@@ -36,6 +50,20 @@ for bench in $benches; do
     failed=1
   fi
 done
+
+if [ "$quick" = 1 ]; then
+  tsan_test="$repo_root/build-tsan/tests/sweep_runner_test"
+  if [ -x "$tsan_test" ]; then
+    echo "==> sweep_runner_test (tsan)"
+    if ! "$tsan_test" > "$out_dir/sweep_runner_tsan.txt" 2>&1; then
+      echo "FAILED: sweep_runner_test under tsan (log: $out_dir/sweep_runner_tsan.txt)" >&2
+      failed=1
+    fi
+  else
+    echo "note: build-tsan/tests/sweep_runner_test not built; for the TSan pass run:" >&2
+    echo "  cmake --preset tsan && cmake --build --preset tsan --target sweep_runner_test" >&2
+  fi
+fi
 
 echo
 echo "reports in $out_dir:"

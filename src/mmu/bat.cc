@@ -21,34 +21,18 @@ void BatArray::Set(uint32_t index, const BatEntry& entry) {
                     "BAT physical base not aligned to block size");
   }
   entries_[index] = entry;
+  ++generation_;
 }
 
 void BatArray::Clear(uint32_t index) {
   PPCMM_CHECK(index < kNumBats);
   entries_[index] = BatEntry{};
+  ++generation_;
 }
 
 const BatEntry& BatArray::Get(uint32_t index) const {
   PPCMM_CHECK(index < kNumBats);
   return entries_[index];
-}
-
-std::optional<BatHit> BatArray::Translate(EffAddr ea, bool supervisor) const {
-  for (const BatEntry& entry : entries_) {
-    if (!entry.valid) {
-      continue;
-    }
-    if (entry.supervisor_only && !supervisor) {
-      continue;
-    }
-    const uint32_t mask = ~(entry.block_bytes - 1);
-    if ((ea.value & mask) == entry.eff_base) {
-      const uint32_t offset = ea.value & (entry.block_bytes - 1);
-      return BatHit{.pa = PhysAddr(entry.phys_base + offset),
-                    .cache_inhibited = entry.cache_inhibited};
-    }
-  }
-  return std::nullopt;
 }
 
 uint32_t BatArray::ValidCount() const {

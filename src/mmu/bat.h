@@ -48,16 +48,39 @@ class BatArray {
   const BatEntry& Get(uint32_t index) const;
 
   // Attempts to translate `ea`. `supervisor` selects privileged matching — user accesses
-  // never match supervisor-only entries.
-  std::optional<BatHit> Translate(EffAddr ea, bool supervisor) const;
+  // never match supervisor-only entries. Inline: the BAT scan runs ahead of the page-table
+  // path on every single MMU access.
+  std::optional<BatHit> Translate(EffAddr ea, bool supervisor) const {
+    for (const BatEntry& entry : entries_) {
+      if (!entry.valid) {
+        continue;
+      }
+      if (entry.supervisor_only && !supervisor) {
+        continue;
+      }
+      const uint32_t mask = ~(entry.block_bytes - 1);
+      if ((ea.value & mask) == entry.eff_base) {
+        const uint32_t offset = ea.value & (entry.block_bytes - 1);
+        return BatHit{.pa = PhysAddr(entry.phys_base + offset),
+                      .cache_inhibited = entry.cache_inhibited};
+      }
+    }
+    return std::nullopt;
+  }
 
   // True if any valid entry covers `ea` for the given privilege.
   bool Covers(EffAddr ea, bool supervisor) const { return Translate(ea, supervisor).has_value(); }
 
   uint32_t ValidCount() const;
 
+  // Monotonic count of register writes (Set/Clear). The MMU's host fast path snapshots it:
+  // a memoized BAT-miss (or BAT-hit) outcome is only replayed while no BAT has been
+  // reprogrammed since it was recorded.
+  uint64_t generation() const { return generation_; }
+
  private:
   std::array<BatEntry, kNumBats> entries_{};
+  uint64_t generation_ = 0;
 };
 
 }  // namespace ppcmm

@@ -33,7 +33,7 @@ PhysAddr HashTable::SlotAddr(uint32_t pteg, uint32_t slot) const {
   return base_ + (pteg * kPtesPerPteg + slot) * kPteBytes;
 }
 
-HtabSearchResult HashTable::Search(VirtPage vp, MemCharger& charger) {
+HtabSearchResult HashTable::Search(VirtPage vp, MemCharger& charger) const {
   HtabSearchResult result;
   const uint32_t groups[2] = {PrimaryPteg(vp), SecondaryPteg(vp)};
   for (uint32_t g : groups) {

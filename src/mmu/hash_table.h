@@ -58,8 +58,10 @@ class HashTable {
   // Physical address of one slot (for cache-charging and for the BAT-mapping experiments).
   PhysAddr SlotAddr(uint32_t pteg, uint32_t slot) const;
 
-  // Searches primary then secondary PTEG for `vp`, charging one read per probed slot.
-  HtabSearchResult Search(VirtPage vp, MemCharger& charger);
+  // Searches primary then secondary PTEG for `vp`, charging one read per probed slot. The
+  // table itself is never modified — probing with a NullMemCharger (as Mmu::Probe does) is
+  // side-effect free, which is why this is const.
+  HtabSearchResult Search(VirtPage vp, MemCharger& charger) const;
 
   // Inserts `pte`, preferring a free slot in the primary then secondary PTEG; when both are
   // full, replaces a slot chosen round-robin among the 16 candidates — the paper's

@@ -1,17 +1,66 @@
 #include "src/mmu/mmu.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
 
 #include "src/sim/check.h"
 
 namespace ppcmm {
+
+namespace {
+
+// Process-wide override for the fast-path default: -1 = follow the environment,
+// 0/1 = forced by SetFastPathDefault (the torture differential flips this around
+// workloads that build their own System internally).
+std::atomic<int>& FastPathForced() {
+  static std::atomic<int> forced{-1};
+  return forced;
+}
+
+bool FastPathEnvDefault() {
+  const char* env = std::getenv("PPCMM_FAST_PATH");
+  if (env == nullptr) {
+    return true;
+  }
+  const std::string_view value(env);
+  return !(value == "0" || value == "off");
+}
+
+}  // namespace
+
+bool Mmu::FastPathDefault() {
+  const int forced = FastPathForced().load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return forced != 0;
+  }
+  return FastPathEnvDefault();
+}
+
+void Mmu::SetFastPathDefault(std::optional<bool> forced) {
+  FastPathForced().store(forced.has_value() ? (*forced ? 1 : 0) : -1,
+                         std::memory_order_relaxed);
+}
+
+void Mmu::SetFastPathEnabled(bool enabled) {
+  fast_path_enabled_ = enabled;
+  FastPathInvalidate();
+}
+
+void Mmu::FastPathInvalidate() {
+  for (auto& side : fast_slots_) {
+    side.fill(FastSlot{});
+  }
+}
 
 Mmu::Mmu(Machine& machine, const MmuPolicy& policy, PhysAddr htab_base)
     : machine_(machine),
       policy_(policy),
       htab_(machine.config().htab_ptegs, htab_base),
       itlb_("itlb", machine.config().itlb_entries, machine.config().tlb_associativity),
-      dtlb_("dtlb", machine.config().dtlb_entries, machine.config().tlb_associativity) {}
+      dtlb_("dtlb", machine.config().dtlb_entries, machine.config().tlb_associativity),
+      fast_path_enabled_(FastPathDefault()) {}
 
 AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   const bool supervisor = ea.IsKernel();
@@ -27,51 +76,111 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
     }
   }
 
+  const bool is_ifetch = IsInstruction(kind);
+  const bool is_write = IsWrite(kind);
+  const uint32_t epn = ea.EffPageNumber();
+  FastSlot& slot = fast_slots_[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
+
+  // Host fast path: replay the memoized outcome for this page when nothing it depends on
+  // has changed. Everything up to the commit point is a pure read — a rejected memo must
+  // leave no trace in the simulation.
+  if (fast_path_enabled_ && slot.eff_page == epn && slot.gen == FastGen()) {
+    if (slot.entry == nullptr) {
+      // Memoized BAT hit. BAT state is unchanged (generation match) and BAT blocks are
+      // page-aligned linear maps, so the same effective page still hits the same block and
+      // lands in the same frame.
+      ++fast_hits_;
+      ++counters.bat_translations;
+      const PhysAddr pa = PhysAddr::FromFrame(slot.bat_frame, ea.PageOffset());
+      if (is_ifetch) {
+        machine_.TouchInstruction(pa, !slot.bat_cache_inhibited);
+      } else {
+        machine_.TouchData(pa, is_write, !slot.bat_cache_inhibited);
+      }
+      return AccessOutcome::kOk;
+    }
+    TlbEntry* entry = slot.entry;
+    if (entry->valid && entry->vsid.value == slot.vsid &&
+        entry->page_index == (epn & kPageIndexMask) &&
+        (!is_write || (entry->writable && entry->changed))) {
+      // The segment registers are unchanged (generation match), so resolving `ea` would
+      // yield slot.vsid again; the way still holds exactly that tag, so the associative
+      // lookup would hit it; the write gate guarantees no protection fault and no pending
+      // C-bit work. Replay the lookup's side effects and charge the payload access.
+      ++fast_hits_;
+      Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+      if (is_ifetch) {
+        ++counters.itlb_accesses;
+      } else {
+        ++counters.dtlb_accesses;
+      }
+      tlb.TouchLru(entry);
+      const PhysAddr pa = PhysAddr::FromFrame(entry->frame, ea.PageOffset());
+      if (is_ifetch) {
+        machine_.TouchInstruction(pa, !entry->cache_inhibited);
+      } else {
+        machine_.TouchData(pa, is_write, !entry->cache_inhibited);
+      }
+      return AccessOutcome::kOk;
+    }
+  }
+  if (fast_path_enabled_) {
+    ++fast_misses_;
+  }
+
   // BAT translation runs in parallel with the segment lookup; a BAT hit abandons the
   // page-table path entirely (§3).
-  const BatArray& bats = IsInstruction(kind) ? ibats_ : dbats_;
+  const BatArray& bats = is_ifetch ? ibats_ : dbats_;
   if (const std::optional<BatHit> hit = bats.Translate(ea, supervisor); hit.has_value()) {
     ++counters.bat_translations;
-    if (IsInstruction(kind)) {
+    if (fast_path_enabled_) {
+      slot = FastSlot{.eff_page = epn,
+                      .vsid = 0,
+                      .gen = FastGen(),
+                      .entry = nullptr,
+                      .bat_frame = hit->pa.PageFrame(),
+                      .bat_cache_inhibited = hit->cache_inhibited};
+    }
+    if (is_ifetch) {
       machine_.TouchInstruction(hit->pa, !hit->cache_inhibited);
     } else {
-      machine_.TouchData(hit->pa, IsWrite(kind), !hit->cache_inhibited);
+      machine_.TouchData(hit->pa, is_write, !hit->cache_inhibited);
     }
     return AccessOutcome::kOk;
   }
 
   const VirtPage vp = segments_.Resolve(ea);
-  Tlb& tlb = IsInstruction(kind) ? itlb_ : dtlb_;
-  if (IsInstruction(kind)) {
+  Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+  if (is_ifetch) {
     ++counters.itlb_accesses;
   } else {
     ++counters.dtlb_accesses;
   }
 
-  std::optional<TlbEntry> entry = tlb.Lookup(vp);
-  if (!entry.has_value()) {
-    if (IsInstruction(kind)) {
+  TlbEntry* entry = tlb.LookupPtr(vp);
+  if (entry == nullptr) {
+    if (is_ifetch) {
       ++counters.itlb_misses;
     } else {
       ++counters.dtlb_misses;
     }
-    machine_.Trace(TraceEvent::kTlbMiss, ea.EffPageNumber(), IsInstruction(kind) ? 1 : 0);
+    machine_.Trace(TraceEvent::kTlbMiss, ea.EffPageNumber(), is_ifetch ? 1 : 0);
     const std::optional<PteWalkInfo> info = Reload(ea, vp, kind);
     if (!info.has_value()) {
       return AccessOutcome::kPageFault;
     }
-    entry = tlb.Lookup(vp);
-    PPCMM_CHECK_MSG(entry.has_value(), "reload must leave the translation in the TLB");
+    entry = tlb.LookupPtr(vp);
+    PPCMM_CHECK_MSG(entry != nullptr, "reload must leave the translation in the TLB");
   }
 
-  if (IsWrite(kind) && !entry->writable) {
+  if (is_write && !entry->writable) {
     return AccessOutcome::kProtectionFault;
   }
 
   // Deferred C-bit maintenance: the first store through a clean translation must record the
   // change in the HTAB entry and the Linux PTE before the store can proceed (§7's reason to
   // mark dirty at reload instead).
-  if (IsWrite(kind) && !entry->changed && !policy_.eager_dirty_marking) {
+  if (is_write && !entry->changed && !policy_.eager_dirty_marking) {
     ++counters.dirty_bit_updates;
     machine_.Trace(TraceEvent::kDirtyBitUpdate, ea.EffPageNumber());
     DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
@@ -82,15 +191,23 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
     if (backing_ != nullptr) {
       backing_->MarkPteDirty(ea, pt_charger);
     }
-    dtlb_.MarkChanged(vp);  // stores only ever come through the DTLB
-    entry->changed = true;
+    dtlb_.MarkChanged(vp);  // sets entry->changed: stores only ever come through the DTLB
+  }
+
+  if (fast_path_enabled_) {
+    slot = FastSlot{.eff_page = epn,
+                    .vsid = vp.vsid.value,
+                    .gen = FastGen(),
+                    .entry = entry,
+                    .bat_frame = 0,
+                    .bat_cache_inhibited = false};
   }
 
   const PhysAddr pa = PhysAddr::FromFrame(entry->frame, ea.PageOffset());
-  if (IsInstruction(kind)) {
+  if (is_ifetch) {
     machine_.TouchInstruction(pa, !entry->cache_inhibited);
   } else {
-    machine_.TouchData(pa, IsWrite(kind), !entry->cache_inhibited);
+    machine_.TouchData(pa, is_write, !entry->cache_inhibited);
   }
   return AccessOutcome::kOk;
 }
@@ -105,9 +222,8 @@ std::optional<PhysAddr> Mmu::Probe(EffAddr ea, AccessKind kind) const {
   // Probe the TLB without touching LRU state by scanning the HTAB and backing instead: the
   // TLB is a pure cache of those, so consult the HTAB copy first, then the backing source.
   NullMemCharger null_charger;
-  HashTable& htab = const_cast<HashTable&>(htab_);
   if (policy_.UsesHtab()) {
-    const HtabSearchResult found = htab.Search(vp, null_charger);
+    const HtabSearchResult found = htab_.Search(vp, null_charger);
     if (found.found) {
       return PhysAddr::FromFrame(found.pte.rpn, ea.PageOffset());
     }
@@ -286,6 +402,9 @@ void Mmu::TlbInvalidatePage(EffAddr ea) {
 }
 
 void Mmu::TlbInvalidateAll() {
+  ++machine_.counters().tlb_all_flushes;
+  // tlbia plus the serializing tlbsync/sync pair, same fixed pipeline cost as tlbie.
+  machine_.AddCycles(Cycles(32));
   itlb_.InvalidateAll();
   dtlb_.InvalidateAll();
 }

@@ -21,6 +21,7 @@
 #ifndef PPCMM_SRC_MMU_MMU_H_
 #define PPCMM_SRC_MMU_MMU_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -149,7 +150,54 @@ class Mmu {
     return DataMemCharger(machine_, policy_.cache_page_tables);
   }
 
+  // ---- host fast path ----
+  //
+  // A simulation-invisible memoization cache over Access(): a direct-mapped table keyed by
+  // effective page number and access side remembers where the last full walk for that page
+  // landed (the TLB entry it hit, or the BAT frame that matched), so a repeated reference
+  // replays the identical counter increments, LRU tick, and payload cache charge without
+  // re-scanning the BATs, re-resolving the segment, or re-searching the TLB's ways. The
+  // memo is only trusted when (a) the segment-register and BAT generation counters still
+  // match the snapshot taken at install time, and (b) the TLB entry it names is still
+  // valid, still tagged with the same (VSID, page index), and has no pending protection or
+  // C-bit work; anything else falls back to the full path. See DESIGN.md for the complete
+  // invalidation contract. Counters and cycles are bit-identical either way (fast_path_test
+  // proves it differentially).
+
+  // Process-wide default for new Mmu instances: on unless PPCMM_FAST_PATH=0/off in the
+  // environment, or a test forced it with SetFastPathDefault.
+  static bool FastPathDefault();
+  static void SetFastPathDefault(std::optional<bool> forced);  // nullopt = back to the env
+
+  void SetFastPathEnabled(bool enabled);
+  bool fast_path_enabled() const { return fast_path_enabled_; }
+  // Drops every memoized translation. Host-side only: charges nothing, counts nothing.
+  void FastPathInvalidate();
+  // Host-side statistics (not HwCounters: they must not exist inside the simulation).
+  uint64_t fast_path_hits() const { return fast_hits_; }
+  uint64_t fast_path_misses() const { return fast_misses_; }
+
  private:
+  // One memoized outcome. `entry == nullptr` marks a memoized BAT hit (bat_frame/WIMG-I
+  // valid); otherwise `entry` points at the TLB way the last full walk hit, re-validated
+  // against `vsid` and the slot's page tag on every use.
+  struct FastSlot {
+    uint32_t eff_page = kNoFastTag;  // 20-bit effective page number, kNoFastTag = empty
+    uint32_t vsid = 0;
+    uint64_t gen = 0;                // segment+BAT generation snapshot at install
+    TlbEntry* entry = nullptr;
+    uint32_t bat_frame = 0;
+    bool bat_cache_inhibited = false;
+  };
+  static constexpr uint32_t kFastPathSlots = 256;  // per side, direct-mapped
+  static constexpr uint32_t kNoFastTag = 0xFFFFFFFFu;
+
+  // The combined mutation clock the fast path snapshots. Each component only ever
+  // increments, so the sum strictly increases on any segment or BAT write and a stale
+  // snapshot can never compare equal again.
+  uint64_t FastGen() const {
+    return segments_.generation() + ibats_.generation() + dbats_.generation();
+  }
   // Refills the TLB after a miss. Returns the walk result or nullopt on page fault.
   std::optional<PteWalkInfo> Reload(EffAddr ea, VirtPage vp, AccessKind kind);
   // Software path shared by every strategy once the HTAB (if any) has missed.
@@ -169,6 +217,11 @@ class Mmu {
   const VsidOracle* oracle_ = nullptr;
   AllLiveVsidOracle all_live_;
   FaultInjector* injector_ = nullptr;
+
+  bool fast_path_enabled_;
+  uint64_t fast_hits_ = 0;
+  uint64_t fast_misses_ = 0;
+  std::array<std::array<FastSlot, kFastPathSlots>, 2> fast_slots_;  // [IsInstruction(kind)]
 };
 
 }  // namespace ppcmm

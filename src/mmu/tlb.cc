@@ -20,16 +20,11 @@ Tlb::Tlb(std::string name, uint32_t entries, uint32_t associativity)
 }
 
 std::optional<TlbEntry> Tlb::Lookup(VirtPage vp) {
-  ++tick_;
-  TlbEntry* ways = SetBase(SetIndex(vp.page_index));
-  for (uint32_t w = 0; w < associativity_; ++w) {
-    TlbEntry& entry = ways[w];
-    if (entry.valid && entry.vsid == vp.vsid && entry.page_index == vp.page_index) {
-      entry.last_used = tick_;
-      return entry;
-    }
+  TlbEntry* entry = LookupPtr(vp);
+  if (entry == nullptr) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return *entry;
 }
 
 void Tlb::Insert(const TlbEntry& entry) {

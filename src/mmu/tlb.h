@@ -45,6 +45,29 @@ class Tlb {
   // Looks up a translation; refreshes LRU state on hit.
   std::optional<TlbEntry> Lookup(VirtPage vp);
 
+  // Lookup variant returning a pointer into the TLB's backing store (nullptr on miss), with
+  // byte-identical LRU/tick behaviour. The pointer stays valid for the TLB's lifetime (the
+  // way array never reallocates) but the *entry* it names may be replaced or invalidated by
+  // any later Insert/Invalidate*; callers that cache it (the MMU host fast path) must
+  // re-validate the entry's valid bit and (vsid, page_index) tag before trusting it.
+  // Inline: this sits on the translation path of every non-BAT memory reference.
+  TlbEntry* LookupPtr(VirtPage vp) {
+    ++tick_;
+    TlbEntry* ways = SetBase(SetIndex(vp.page_index));
+    for (uint32_t w = 0; w < associativity_; ++w) {
+      TlbEntry& entry = ways[w];
+      if (entry.valid && entry.vsid == vp.vsid && entry.page_index == vp.page_index) {
+        entry.last_used = tick_;
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+
+  // Refreshes LRU state on an entry known to be resident — exactly the side effect a
+  // Lookup hit would have had. Host-fast-path use only.
+  void TouchLru(TlbEntry* entry) { entry->last_used = ++tick_; }
+
   // Installs a translation, replacing an invalid way or the LRU way of the set.
   void Insert(const TlbEntry& entry);
 

@@ -1,5 +1,6 @@
 #include "src/sim/cache.h"
 
+#include <bit>
 #include <utility>
 
 #include "src/sim/check.h"
@@ -19,63 +20,10 @@ Cache::Cache(std::string name, CacheGeometry geometry, MemoryTiming timing)
   PPCMM_CHECK_MSG(geometry_.size_bytes % (geometry_.line_bytes * geometry_.associativity) == 0,
                   "cache size must be divisible by line size * associativity");
   PPCMM_CHECK_MSG(IsPowerOfTwo(geometry_.NumSets()), "number of sets must be a power of two");
+  line_shift_ = static_cast<uint32_t>(std::countr_zero(geometry_.line_bytes));
+  set_mask_ = geometry_.NumSets() - 1;
+  tag_shift_ = line_shift_ + static_cast<uint32_t>(std::countr_zero(geometry_.NumSets()));
   lines_.resize(static_cast<size_t>(geometry_.NumSets()) * geometry_.associativity);
-}
-
-uint32_t Cache::SetIndex(PhysAddr pa) const {
-  return (pa.value / geometry_.line_bytes) & (geometry_.NumSets() - 1);
-}
-
-uint32_t Cache::Tag(PhysAddr pa) const {
-  return (pa.value / geometry_.line_bytes) / geometry_.NumSets();
-}
-
-CacheAccessOutcome Cache::AccessLine(PhysAddr pa, bool is_write) {
-  ++stats_.accesses;
-  ++tick_;
-
-  const uint32_t set = SetIndex(pa);
-  const uint32_t tag = Tag(pa);
-  Line* ways = &lines_[static_cast<size_t>(set) * geometry_.associativity];
-
-  // Hit path.
-  for (uint32_t w = 0; w < geometry_.associativity; ++w) {
-    Line& line = ways[w];
-    if (line.valid && line.tag == tag) {
-      ++stats_.hits;
-      line.last_used = tick_;
-      line.dirty = line.dirty || is_write;
-      return CacheAccessOutcome{.hit = true, .evicted_dirty = false};
-    }
-  }
-
-  // Miss: pick a victim (prefer an invalid way, else LRU).
-  ++stats_.misses;
-  Line* victim = &ways[0];
-  for (uint32_t w = 0; w < geometry_.associativity; ++w) {
-    Line& line = ways[w];
-    if (!line.valid) {
-      victim = &line;
-      break;
-    }
-    if (line.last_used < victim->last_used) {
-      victim = &line;
-    }
-  }
-
-  CacheAccessOutcome outcome{.hit = false, .evicted_dirty = false};
-  if (victim->valid) {
-    ++stats_.evictions;
-    if (victim->dirty) {
-      ++stats_.dirty_writebacks;
-      outcome.evicted_dirty = true;
-    }
-  }
-  victim->valid = true;
-  victim->dirty = is_write;
-  victim->tag = tag;
-  victim->last_used = tick_;
-  return outcome;
 }
 
 Cycles Cache::Access(PhysAddr pa, bool is_write) {
@@ -127,11 +75,6 @@ Cycles Cache::Prefetch(PhysAddr pa) {
   victim->tag = tag;
   victim->last_used = tick_;
   return Cycles(2);
-}
-
-Cycles Cache::AccessUncached(bool /*is_write*/) {
-  ++stats_.uncached_accesses;
-  return Cycles(timing_.single_beat_cycles);
 }
 
 bool Cache::Contains(PhysAddr pa) const {

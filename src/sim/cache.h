@@ -51,11 +51,63 @@ class Cache {
   // assuming misses fill straight from memory (no L2).
   Cycles Access(PhysAddr pa, bool is_write);
 
-  // Line-level access without timing: updates state, reports what happened.
-  CacheAccessOutcome AccessLine(PhysAddr pa, bool is_write);
+  // Line-level access without timing: updates state, reports what happened. Defined inline:
+  // this is the hottest function in the whole simulator (every charged memory reference
+  // lands here), and the call would otherwise cross a translation-unit boundary.
+  CacheAccessOutcome AccessLine(PhysAddr pa, bool is_write) {
+    ++stats_.accesses;
+    ++tick_;
+
+    const uint32_t set = SetIndex(pa);
+    const uint32_t tag = Tag(pa);
+    Line* ways = &lines_[static_cast<size_t>(set) * geometry_.associativity];
+
+    // Hit path.
+    for (uint32_t w = 0; w < geometry_.associativity; ++w) {
+      Line& line = ways[w];
+      if (line.valid && line.tag == tag) {
+        ++stats_.hits;
+        line.last_used = tick_;
+        line.dirty = line.dirty || is_write;
+        return CacheAccessOutcome{.hit = true, .evicted_dirty = false};
+      }
+    }
+
+    // Miss: pick a victim (prefer an invalid way, else LRU).
+    ++stats_.misses;
+    Line* victim = &ways[0];
+    for (uint32_t w = 0; w < geometry_.associativity; ++w) {
+      Line& line = ways[w];
+      if (!line.valid) {
+        victim = &line;
+        break;
+      }
+      if (line.last_used < victim->last_used) {
+        victim = &line;
+      }
+    }
+
+    CacheAccessOutcome outcome{.hit = false, .evicted_dirty = false};
+    if (victim->valid) {
+      ++stats_.evictions;
+      if (victim->dirty) {
+        ++stats_.dirty_writebacks;
+        outcome.evicted_dirty = true;
+      }
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->last_used = tick_;
+    return outcome;
+  }
 
   // Performs one cache-inhibited access (the line is neither looked up nor allocated).
-  Cycles AccessUncached(bool is_write);
+  // Inline: the uncached idle-task configurations issue one of these per zeroed word.
+  Cycles AccessUncached(bool /*is_write*/) {
+    ++stats_.uncached_accesses;
+    return Cycles(timing_.single_beat_cycles);
+  }
 
   // dcbt-style software prefetch: starts filling the line containing `pa` if absent. The
   // fill overlaps with subsequent execution, so only the issue cost is charged — the paper's
@@ -84,12 +136,18 @@ class Cache {
     uint64_t last_used = 0;
   };
 
-  uint32_t SetIndex(PhysAddr pa) const;
-  uint32_t Tag(PhysAddr pa) const;
+  // Line size and set count are powers of two (checked at construction), so the index and
+  // tag divisions reduce to shifts — precomputed once, they keep integer division out of
+  // the per-access path while producing bit-identical values.
+  uint32_t SetIndex(PhysAddr pa) const { return (pa.value >> line_shift_) & set_mask_; }
+  uint32_t Tag(PhysAddr pa) const { return pa.value >> tag_shift_; }
 
   std::string name_;
   CacheGeometry geometry_;
   MemoryTiming timing_;
+  uint32_t line_shift_ = 0;  // log2(line_bytes)
+  uint32_t set_mask_ = 0;    // NumSets() - 1
+  uint32_t tag_shift_ = 0;   // log2(line_bytes * NumSets())
   std::vector<Line> lines_;  // sets * ways, row-major by set
   uint64_t tick_ = 0;        // LRU clock
   CacheStats stats_;

@@ -42,6 +42,7 @@
   X(dirty_bit_updates, "deferred C-bit traps (first store to a clean page)")                \
   /* Flushing. */                                                                           \
   X(tlb_page_flushes, "per-page invalidations (tlbie-style)")                               \
+  X(tlb_all_flushes, "full-TLB invalidations (tlbia-style)")                                \
   X(tlb_context_flushes, "whole-context (VSID reassignment) flushes")                       \
   X(vsid_epoch_rollovers, "24-bit VSID space wraps (global flush + reassign)")              \
   /* Kernel activity. */                                                                    \

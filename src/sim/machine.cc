@@ -38,22 +38,4 @@ Cycles Machine::MissCost(PhysAddr pa, bool is_write, bool l1_evicted_dirty) {
   return cost;
 }
 
-void Machine::TouchData(PhysAddr pa, bool is_write, bool cached) {
-  if (!cached) {
-    AddCycles(dcache_.AccessUncached(is_write));
-    return;
-  }
-  const CacheAccessOutcome l1 = dcache_.AccessLine(pa, is_write);
-  AddCycles(l1.hit ? Cycles(1) : MissCost(pa, is_write, l1.evicted_dirty));
-}
-
-void Machine::TouchInstruction(PhysAddr pa, bool cached) {
-  if (!cached) {
-    AddCycles(icache_.AccessUncached(false));
-    return;
-  }
-  const CacheAccessOutcome l1 = icache_.AccessLine(pa, false);
-  AddCycles(l1.hit ? Cycles(1) : MissCost(pa, false, l1.evicted_dirty));
-}
-
 }  // namespace ppcmm

@@ -57,11 +57,27 @@ class Machine {
   Cycles Now() const { return Cycles(counters_.cycles); }
 
   // Charges one data reference at `pa` through (or around) the data cache and advances the
-  // clock. `cached=false` models a cache-inhibited (WIMG I-bit) access.
-  void TouchData(PhysAddr pa, bool is_write, bool cached = true);
+  // clock. `cached=false` models a cache-inhibited (WIMG I-bit) access. Inline so the
+  // L1-hit case (the overwhelmingly common one) costs one AccessLine call and one add;
+  // only the miss falls out of line into MissCost.
+  void TouchData(PhysAddr pa, bool is_write, bool cached = true) {
+    if (!cached) {
+      AddCycles(dcache_.AccessUncached(is_write));
+      return;
+    }
+    const CacheAccessOutcome l1 = dcache_.AccessLine(pa, is_write);
+    AddCycles(l1.hit ? Cycles(1) : MissCost(pa, is_write, l1.evicted_dirty));
+  }
 
   // Charges one instruction fetch at `pa` through the instruction cache.
-  void TouchInstruction(PhysAddr pa, bool cached = true);
+  void TouchInstruction(PhysAddr pa, bool cached = true) {
+    if (!cached) {
+      AddCycles(icache_.AccessUncached(false));
+      return;
+    }
+    const CacheAccessOutcome l1 = icache_.AccessLine(pa, false);
+    AddCycles(l1.hit ? Cycles(1) : MissCost(pa, false, l1.evicted_dirty));
+  }
 
   // Issues a software data prefetch (dcbt) for the line containing `pa`.
   void PrefetchData(PhysAddr pa) { AddCycles(dcache_.Prefetch(pa)); }

@@ -1,6 +1,7 @@
 #include "src/sim/memory.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/sim/check.h"
@@ -12,44 +13,10 @@ PhysicalMemory::PhysicalMemory(uint64_t size_bytes) : data_(size_bytes, 0) {
   PPCMM_CHECK(size_bytes > 0);
 }
 
-void PhysicalMemory::CheckRange(PhysAddr pa, uint32_t len) const {
-  PPCMM_CHECK_MSG(static_cast<uint64_t>(pa.value) + len <= data_.size(),
-                  "physical access out of range: pa=0x" << std::hex << pa.value << " len=" << std::dec
-                                                        << len);
-}
-
-uint8_t PhysicalMemory::Read8(PhysAddr pa) const {
-  CheckRange(pa, 1);
-  return data_[pa.value];
-}
-
-void PhysicalMemory::Write8(PhysAddr pa, uint8_t value) {
-  CheckRange(pa, 1);
-  data_[pa.value] = value;
-}
-
-uint32_t PhysicalMemory::Read32(PhysAddr pa) const {
-  CheckRange(pa, 4);
-  uint32_t v = 0;
-  std::memcpy(&v, &data_[pa.value], 4);
-  return v;
-}
-
-void PhysicalMemory::Write32(PhysAddr pa, uint32_t value) {
-  CheckRange(pa, 4);
-  std::memcpy(&data_[pa.value], &value, 4);
-}
-
-uint64_t PhysicalMemory::Read64(PhysAddr pa) const {
-  CheckRange(pa, 8);
-  uint64_t v = 0;
-  std::memcpy(&v, &data_[pa.value], 8);
-  return v;
-}
-
-void PhysicalMemory::Write64(PhysAddr pa, uint64_t value) {
-  CheckRange(pa, 8);
-  std::memcpy(&data_[pa.value], &value, 8);
+void PhysicalMemory::FailRange(PhysAddr pa, uint32_t len) const {
+  PPCMM_CHECK_MSG(false, "physical access out of range: pa=0x"
+                             << std::hex << pa.value << " len=" << std::dec << len);
+  std::abort();  // unreachable: PPCMM_CHECK_MSG(false, ...) always throws
 }
 
 void PhysicalMemory::Copy(PhysAddr dst, PhysAddr src, uint32_t len) {

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/sim/phys_addr.h"
@@ -24,12 +25,37 @@ class PhysicalMemory {
   uint64_t size_bytes() const { return data_.size(); }
   uint64_t num_frames() const { return data_.size() / kPageSize; }
 
-  uint8_t Read8(PhysAddr pa) const;
-  void Write8(PhysAddr pa, uint8_t value);
-  uint32_t Read32(PhysAddr pa) const;
-  void Write32(PhysAddr pa, uint32_t value);
-  uint64_t Read64(PhysAddr pa) const;
-  void Write64(PhysAddr pa, uint64_t value);
+  // The scalar accessors are inline — the page-zeroing, pipe-copy and page-table paths
+  // issue millions of them — with the bounds check reduced to one compare and the failure
+  // path (message formatting, throw) kept cold and out of line.
+  uint8_t Read8(PhysAddr pa) const {
+    CheckRange(pa, 1);
+    return data_[pa.value];
+  }
+  void Write8(PhysAddr pa, uint8_t value) {
+    CheckRange(pa, 1);
+    data_[pa.value] = value;
+  }
+  uint32_t Read32(PhysAddr pa) const {
+    CheckRange(pa, 4);
+    uint32_t v = 0;
+    std::memcpy(&v, &data_[pa.value], 4);
+    return v;
+  }
+  void Write32(PhysAddr pa, uint32_t value) {
+    CheckRange(pa, 4);
+    std::memcpy(&data_[pa.value], &value, 4);
+  }
+  uint64_t Read64(PhysAddr pa) const {
+    CheckRange(pa, 8);
+    uint64_t v = 0;
+    std::memcpy(&v, &data_[pa.value], 8);
+    return v;
+  }
+  void Write64(PhysAddr pa, uint64_t value) {
+    CheckRange(pa, 8);
+    std::memcpy(&data_[pa.value], &value, 8);
+  }
 
   // Copies `len` bytes between physical ranges; ranges must not overlap.
   void Copy(PhysAddr dst, PhysAddr src, uint32_t len);
@@ -41,7 +67,12 @@ class PhysicalMemory {
   bool FrameIsZero(uint32_t frame) const;
 
  private:
-  void CheckRange(PhysAddr pa, uint32_t len) const;
+  void CheckRange(PhysAddr pa, uint32_t len) const {
+    if (static_cast<uint64_t>(pa.value) + len > data_.size()) [[unlikely]] {
+      FailRange(pa, len);
+    }
+  }
+  [[noreturn]] void FailRange(PhysAddr pa, uint32_t len) const;
 
   std::vector<uint8_t> data_;
 };

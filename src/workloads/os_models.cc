@@ -1,6 +1,9 @@
 #include "src/workloads/os_models.h"
 
+#include <iterator>
+
 #include "src/sim/check.h"
+#include "src/sim/sweep_runner.h"
 
 namespace ppcmm {
 
@@ -116,13 +119,16 @@ Table3Row RunTable3Row(OsPersonality os, const MachineConfig& machine) {
 }
 
 std::vector<Table3Row> RunTable3(const MachineConfig& machine) {
-  return {
-      RunTable3Row(OsPersonality::kLinuxOptimized, machine),
-      RunTable3Row(OsPersonality::kLinuxUnoptimized, machine),
-      RunTable3Row(OsPersonality::kRhapsody, machine),
-      RunTable3Row(OsPersonality::kMkLinux, machine),
-      RunTable3Row(OsPersonality::kAix, machine),
+  // Each personality is an independent System; sweep them across host threads. Map returns
+  // rows in index order, so the table reads identically to the old serial loop.
+  const OsPersonality personalities[] = {
+      OsPersonality::kLinuxOptimized, OsPersonality::kLinuxUnoptimized,
+      OsPersonality::kRhapsody,       OsPersonality::kMkLinux,
+      OsPersonality::kAix,
   };
+  SweepRunner runner;
+  return runner.Map(std::size(personalities),
+                    [&](size_t i) { return RunTable3Row(personalities[i], machine); });
 }
 
 std::vector<Table3Row> RunTable3WithExtensions(const MachineConfig& machine) {

@@ -1,0 +1,344 @@
+// The host fast-path contract: memoization must be simulation-invisible.
+//
+// Mmu's fast path replays the exact counter increments, LRU ticks, and cache charges the
+// full translation walk would have produced, so every HwCounters field — cycles first of
+// all — must be bit-identical with the fast path on and off, across every reload strategy,
+// every flush scheme, fault injection, and the torture harness. These tests run each
+// workload twice and diff the complete counter set, then poke each invalidation edge the
+// memo depends on: context switches, lazy VSID-bump flushes, spurious TLB flush injection,
+// deferred C-bit first-stores, and protection (COW) faults.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/verify/fault_injector.h"
+#include "src/verify/torture.h"
+#include "src/workloads/kernel_compile.h"
+#include "src/workloads/lmbench.h"
+
+namespace ppcmm {
+namespace {
+
+// Restores the process-wide fast-path default no matter how a test exits.
+struct ScopedFastPathDefault {
+  ~ScopedFastPathDefault() { Mmu::SetFastPathDefault(std::nullopt); }
+};
+
+void ExpectCountersIdentical(const HwCounters& off, const HwCounters& on) {
+  off.ForEachField([&](const char* name, uint64_t value_off, bool) {
+    bool found = false;
+    on.ForEachField([&](const char* on_name, uint64_t value_on, bool) {
+      if (std::string(name) == on_name) {
+        EXPECT_EQ(value_off, value_on) << name;
+        found = true;
+      }
+    });
+    EXPECT_TRUE(found) << name;
+  });
+  EXPECT_EQ(off.cycles, on.cycles);
+}
+
+// The obs_guard workload shape: faults, COW breaks, reloads, eager and lazy flushes,
+// context switches, idle reclaim — every translation path the MMU has.
+void MixedWorkload(System& sys) {
+  Kernel& kernel = sys.kernel();
+  const TaskId a = kernel.CreateTask("a");
+  kernel.Exec(a, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 4});
+  kernel.SwitchTo(a);
+  for (uint32_t i = 0; i < 32; ++i) {
+    kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+  }
+  const TaskId child = kernel.Fork(a);
+  kernel.SwitchTo(child);
+  for (uint32_t i = 0; i < 8; ++i) {
+    kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);  // COW
+  }
+  const uint32_t map = kernel.Mmap(30);
+  for (uint32_t i = 0; i < 30; ++i) {
+    kernel.UserTouch(EffAddr::FromPage(map + i), AccessKind::kStore);
+  }
+  kernel.Munmap(map, 30);  // above the cutoff: lazy VSID-bump context flush
+  const uint32_t map2 = kernel.Mmap(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    kernel.UserTouch(EffAddr::FromPage(map2 + i), AccessKind::kStore);
+  }
+  kernel.Munmap(map2, 4);  // below the cutoff: eager per-page tlbie flush
+  kernel.SwitchTo(a);
+  kernel.Exit(child);
+  kernel.RunIdle(Cycles(20000));
+}
+
+struct ConfigCase {
+  const char* name;
+  MachineConfig machine;
+  OptimizationConfig opts;
+};
+
+std::vector<ConfigCase> AllStrategies() {
+  return {
+      {"604_baseline", MachineConfig::Ppc604(133), OptimizationConfig::Baseline()},
+      {"604_all_opts", MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations()},
+      {"603_sw_htab", MachineConfig::Ppc603(133), OptimizationConfig::Baseline()},
+      {"603_direct", MachineConfig::Ppc603(133), OptimizationConfig::OnlyDirectReload()},
+      {"604_uncached_pt", MachineConfig::Ppc604(133),
+       OptimizationConfig::AllPlusUncachedPageTables()},
+  };
+}
+
+TEST(FastPathTest, MixedWorkloadIsBitIdenticalAcrossStrategies) {
+  for (const ConfigCase& c : AllStrategies()) {
+    SCOPED_TRACE(c.name);
+    System off(c.machine, c.opts);
+    off.mmu().SetFastPathEnabled(false);
+    MixedWorkload(off);
+
+    System on(c.machine, c.opts);
+    on.mmu().SetFastPathEnabled(true);
+    MixedWorkload(on);
+
+    EXPECT_EQ(off.mmu().fast_path_hits(), 0u);
+    EXPECT_GT(on.mmu().fast_path_hits(), 0u) << "fast path never engaged";
+    ExpectCountersIdentical(off.counters(), on.counters());
+  }
+}
+
+TEST(FastPathTest, LmBenchPointsAreBitIdentical) {
+  auto run = [](bool fast) {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    sys.mmu().SetFastPathEnabled(fast);
+    LmBenchParams params;
+    params.syscall_iters = 100;
+    params.ctxsw_passes = 15;
+    params.pipe_latency_iters = 30;
+    LmBench suite(sys, params);
+    const double null_us = suite.NullSyscallUs();
+    const double ctxsw_us = suite.ContextSwitchUs(2);
+    const double pipe_us = suite.PipeLatencyUs();
+    const double bw = suite.PipeBandwidthMbs();
+    return std::tuple<double, double, double, double, HwCounters>(null_us, ctxsw_us, pipe_us,
+                                                                  bw, sys.counters());
+  };
+  const auto [null_off, ctxsw_off, pipe_off, bw_off, c_off] = run(false);
+  const auto [null_on, ctxsw_on, pipe_on, bw_on, c_on] = run(true);
+  EXPECT_EQ(null_off, null_on);
+  EXPECT_EQ(ctxsw_off, ctxsw_on);
+  EXPECT_EQ(pipe_off, pipe_on);
+  EXPECT_EQ(bw_off, bw_on);
+  ExpectCountersIdentical(c_off, c_on);
+}
+
+TEST(FastPathTest, KernelCompileIsBitIdenticalAndMostlyFastPathed) {
+  auto run = [](bool fast) {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    sys.mmu().SetFastPathEnabled(fast);
+    KernelCompileConfig cc;
+    cc.compilation_units = 3;
+    const KernelCompileResult result = RunKernelCompile(sys, cc);
+    const uint64_t hits = sys.mmu().fast_path_hits();
+    const uint64_t misses = sys.mmu().fast_path_misses();
+    return std::tuple<double, HwCounters, uint64_t, uint64_t>(result.seconds, sys.counters(),
+                                                              hits, misses);
+  };
+  const auto [sec_off, c_off, hits_off, misses_off] = run(false);
+  const auto [sec_on, c_on, hits_on, misses_on] = run(true);
+  EXPECT_EQ(sec_off, sec_on);
+  ExpectCountersIdentical(c_off, c_on);
+  EXPECT_EQ(hits_off + misses_off, 0u);
+  // The compile re-touches its working set constantly; the memo should carry most accesses.
+  const double hit_rate =
+      static_cast<double>(hits_on) / static_cast<double>(hits_on + misses_on);
+  EXPECT_GT(hit_rate, 0.5) << hits_on << " hits / " << misses_on << " misses";
+}
+
+TEST(FastPathTest, TortureSeedsWithInjectionAreIdentical) {
+  // The torture harness builds its own System, so flip the process-wide default around it.
+  // Fault injection exercises every hostile invalidation source: spurious TLB flushes,
+  // HTAB eviction storms, VSID wraps, zombie floods.
+  ScopedFastPathDefault restore;
+  for (const uint64_t seed : {1ull, 7ull, 42ull}) {
+    SCOPED_TRACE(seed);
+    TortureOptions options;
+    options.seed = seed;
+    options.ops = 1500;
+    options.audit_period = 128;
+    options.htab_eviction_storm_one_in = 300;
+    options.spurious_tlb_flush_one_in = 200;
+    options.vsid_wrap_one_in = 700;
+    options.zombie_flood_one_in = 400;
+
+    Mmu::SetFastPathDefault(false);
+    const TortureResult off = RunTorture(options);
+    Mmu::SetFastPathDefault(true);
+    const TortureResult on = RunTorture(options);
+
+    EXPECT_FALSE(off.failed) << off.failure_report;
+    EXPECT_FALSE(on.failed) << on.failure_report;
+    EXPECT_EQ(off.ops_executed, on.ops_executed);
+    EXPECT_EQ(off.oom_events, on.oom_events);
+    EXPECT_EQ(off.fault_fires, on.fault_fires);
+    EXPECT_EQ(off.audit_stats.tlb_entries_checked, on.audit_stats.tlb_entries_checked);
+    EXPECT_EQ(off.audit_stats.htab_entries_checked, on.audit_stats.htab_entries_checked);
+    // The trace ring records (cycle, event) pairs — byte-identical JSON means the two runs
+    // were indistinguishable moment by moment, not just in the totals.
+    EXPECT_EQ(off.trace_json, on.trace_json);
+  }
+}
+
+TEST(FastPathTest, LazyVsidBumpFlushInvalidatesTheMemo) {
+  // A lazy whole-context flush retires the VSIDs and reloads the segment registers; a memo
+  // installed before the flush must not serve the dead context's translations after it.
+  System off(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  off.mmu().SetFastPathEnabled(false);
+  System on(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  on.mmu().SetFastPathEnabled(true);
+  auto drive = [](System& sys) {
+    Kernel& kernel = sys.kernel();
+    const TaskId t = kernel.CreateTask("t");
+    kernel.Exec(t, ExecImage{.text_pages = 2, .data_pages = 8, .stack_pages = 2});
+    kernel.SwitchTo(t);
+    const uint32_t map = kernel.Mmap(40);
+    for (int pass = 0; pass < 3; ++pass) {
+      for (uint32_t i = 0; i < 40; ++i) {
+        kernel.UserTouch(EffAddr::FromPage(map + i), AccessKind::kStore);
+      }
+    }
+    kernel.Munmap(map, 40);
+    const uint32_t map2 = kernel.Mmap(40);
+    for (uint32_t i = 0; i < 40; ++i) {
+      kernel.UserTouch(EffAddr::FromPage(map2 + i), AccessKind::kStore);
+    }
+  };
+  drive(off);
+  drive(on);
+  EXPECT_GT(on.mmu().fast_path_hits(), 0u);
+  EXPECT_GT(on.counters().tlb_context_flushes, 0u);
+  ExpectCountersIdentical(off.counters(), on.counters());
+}
+
+TEST(FastPathTest, SpuriousTlbFlushInjectionIsIdentical) {
+  auto run = [](bool fast) {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    sys.mmu().SetFastPathEnabled(fast);
+    FaultInjector injector(/*seed=*/99);
+    injector.Enable(FaultClass::kSpuriousTlbFlush, 64);
+    sys.kernel().SetFaultInjector(&injector);
+    Kernel& kernel = sys.kernel();
+    const TaskId t = kernel.CreateTask("t");
+    kernel.Exec(t, ExecImage{.text_pages = 2, .data_pages = 32, .stack_pages = 2});
+    kernel.SwitchTo(t);
+    for (int pass = 0; pass < 20; ++pass) {
+      for (uint32_t i = 0; i < 16; ++i) {
+        kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+      }
+    }
+    sys.kernel().SetFaultInjector(nullptr);
+    return std::pair<HwCounters, uint64_t>(sys.counters(),
+                                           injector.Fires(FaultClass::kSpuriousTlbFlush));
+  };
+  const auto [c_off, fires_off] = run(false);
+  const auto [c_on, fires_on] = run(true);
+  ASSERT_GT(fires_off, 0u);
+  // Identical poll streams: the fast path preserves the injector's position in its RNG
+  // sequence because the poll stays ahead of the memo check on every access.
+  EXPECT_EQ(fires_off, fires_on);
+  EXPECT_GT(c_on.tlb_all_flushes, 0u);  // satellite: tlbia is now counted
+  ExpectCountersIdentical(c_off, c_on);
+}
+
+TEST(FastPathTest, DeferredFirstStoreStillTrapsThenFastPaths) {
+  // Deferred C-bit scheme (eager_dirty_marking off): a load memoizes a clean translation;
+  // the first store must fall off the fast path into the C-bit trap; later stores fly.
+  OptimizationConfig opts = OptimizationConfig::Baseline();
+  ASSERT_FALSE(opts.eager_dirty_marking);
+  auto run = [&](bool fast) {
+    System sys(MachineConfig::Ppc604(133), opts);
+    sys.mmu().SetFastPathEnabled(fast);
+    Kernel& kernel = sys.kernel();
+    const TaskId t = kernel.CreateTask("t");
+    kernel.Exec(t, ExecImage{.text_pages = 2, .data_pages = 16, .stack_pages = 2});
+    kernel.SwitchTo(t);
+    for (uint32_t i = 0; i < 8; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kLoad);
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kLoad);
+    }
+    const uint64_t hits_before_stores = sys.mmu().fast_path_hits();
+    for (uint32_t i = 0; i < 8; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+    }
+    const uint64_t hits_after_first_stores = sys.mmu().fast_path_hits();
+    for (uint32_t i = 0; i < 8; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+    }
+    const uint64_t hits_after_second_stores = sys.mmu().fast_path_hits();
+    return std::tuple<HwCounters, uint64_t, uint64_t, uint64_t>(
+        sys.counters(), hits_before_stores, hits_after_first_stores, hits_after_second_stores);
+  };
+  const auto [c_off, b_off, f_off, s_off] = run(false);
+  const auto [c_on, hits_before, hits_first, hits_second] = run(true);
+  EXPECT_GT(c_on.dirty_bit_updates, 0u);
+  ExpectCountersIdentical(c_off, c_on);
+  // Repeated loads hit the memo; the first store round must not (clean entries)...
+  EXPECT_GT(hits_before, 0u);
+  EXPECT_EQ(hits_first, hits_before);
+  // ...and once the C bit is set, the second store round rides the fast path.
+  EXPECT_GE(hits_second, hits_first + 8);
+}
+
+TEST(FastPathTest, CowProtectionFaultFallsToSlowPath) {
+  auto run = [](bool fast) {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    sys.mmu().SetFastPathEnabled(fast);
+    Kernel& kernel = sys.kernel();
+    const TaskId parent = kernel.CreateTask("parent");
+    kernel.Exec(parent, ExecImage{.text_pages = 2, .data_pages = 16, .stack_pages = 2});
+    kernel.SwitchTo(parent);
+    for (uint32_t i = 0; i < 8; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+    }
+    const TaskId child = kernel.Fork(parent);
+    kernel.SwitchTo(child);
+    // Read first (memoizes the read-only shared translation), then store (COW break: the
+    // memoized entry fails the write gate, the slow path faults and remaps).
+    for (uint32_t i = 0; i < 8; ++i) {
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kLoad);
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+      kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+    }
+    kernel.Exit(child);
+    return sys.counters();
+  };
+  const HwCounters c_off = run(false);
+  const HwCounters c_on = run(true);
+  EXPECT_GT(c_on.page_faults, 0u);
+  ExpectCountersIdentical(c_off, c_on);
+}
+
+TEST(FastPathTest, DisabledInstanceNeverEngages) {
+  System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  sys.mmu().SetFastPathEnabled(false);
+  MixedWorkload(sys);
+  EXPECT_EQ(sys.mmu().fast_path_hits(), 0u);
+  EXPECT_EQ(sys.mmu().fast_path_misses(), 0u);
+}
+
+TEST(FastPathTest, DefaultToggleGovernsNewInstances) {
+  ScopedFastPathDefault restore;
+  Mmu::SetFastPathDefault(false);
+  {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    EXPECT_FALSE(sys.mmu().fast_path_enabled());
+  }
+  Mmu::SetFastPathDefault(true);
+  {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    EXPECT_TRUE(sys.mmu().fast_path_enabled());
+  }
+}
+
+}  // namespace
+}  // namespace ppcmm

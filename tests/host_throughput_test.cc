@@ -1,0 +1,40 @@
+// Throughput smoke: the host fast path engages on realistic workloads (high hit rate) while
+// staying simulation-invisible. The wall-clock speedup itself is measured by
+// bench/host_throughput (host timing is too noisy for a CI assertion).
+
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/workloads/kernel_compile.h"
+
+namespace ppcmm {
+namespace {
+
+TEST(HostThroughputTest, FastPathCarriesTheKernelCompile) {
+  System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+  ASSERT_TRUE(sys.mmu().fast_path_enabled());  // on by default (PPCMM_FAST_PATH unset)
+  KernelCompileConfig cc;
+  cc.compilation_units = 4;
+  RunKernelCompile(sys, cc);
+
+  const uint64_t hits = sys.mmu().fast_path_hits();
+  const uint64_t misses = sys.mmu().fast_path_misses();
+  ASSERT_GT(hits + misses, 10000u) << "workload too small to be a meaningful smoke";
+  const double hit_rate = static_cast<double>(hits) / static_cast<double>(hits + misses);
+  EXPECT_GT(hit_rate, 0.80) << hits << " hits / " << misses << " misses";
+}
+
+TEST(HostThroughputTest, FastPathIsSimulationInvisibleOnTheSmokeWorkload) {
+  auto cycles = [](bool fast) {
+    System sys(MachineConfig::Ppc603(133), OptimizationConfig::Baseline());
+    sys.mmu().SetFastPathEnabled(fast);
+    KernelCompileConfig cc;
+    cc.compilation_units = 1;
+    RunKernelCompile(sys, cc);
+    return sys.counters().cycles;
+  };
+  EXPECT_EQ(cycles(false), cycles(true));
+}
+
+}  // namespace
+}  // namespace ppcmm

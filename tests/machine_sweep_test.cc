@@ -8,6 +8,7 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
+#include "src/sim/sweep_runner.h"
 #include "src/workloads/lmbench.h"
 
 namespace ppcmm {
@@ -68,6 +69,32 @@ INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweep, ::testing::Range(0, 6),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return Machines()[info.param].name;
                          });
+
+TEST(MachineSweepRunnerTest, ParallelSweepMatchesSerialAcrossAllProfiles) {
+  // The whole machine matrix through SweepRunner: per-profile cycle totals must be
+  // byte-identical whether the sweep runs on one thread or a pool — each task owns its
+  // System, nothing is shared.
+  const std::vector<MachineCase> machines = Machines();
+  const auto simulate = [&](size_t i) {
+    System sys(machines[i].config, OptimizationConfig::AllOptimizations());
+    LmBenchParams params;
+    params.syscall_iters = 50;
+    params.ctxsw_passes = 8;
+    params.pipe_latency_iters = 15;
+    LmBench suite(sys, params);
+    suite.NullSyscallUs();
+    suite.ContextSwitchUs(2);
+    suite.PipeLatencyUs();
+    return sys.counters().cycles;
+  };
+  const std::vector<uint64_t> serial = SweepRunner(1).Map(machines.size(), simulate);
+  const std::vector<uint64_t> parallel = SweepRunner(4).Map(machines.size(), simulate);
+  ASSERT_EQ(serial.size(), machines.size());
+  EXPECT_EQ(serial, parallel);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i], 0u) << machines[i].name;
+  }
+}
 
 TEST(MachineScalingTest, FasterClockIsFasterWallClock) {
   // Same machine, same work, higher clock: fewer microseconds (cycles identical).
