@@ -5,7 +5,9 @@
 #   bench/run_all.sh [--quick] [build-dir]     default build dir: build
 #
 # --quick: smoke mode — shrunken workloads (PPCMM_QUICK=1), only the benches that finish in
-# seconds, plus a ThreadSanitizer pass over the sweep-runner tests when build-tsan exists.
+# seconds, plus a ThreadSanitizer pass over the sweep-runner tests when build-tsan exists
+# and a 30-second seeded differential-fuzz pass under ASan when build-fuzz (or build-asan)
+# exists. A fuzz divergence fails loudly and leaves the minimized repro in bench-out/.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -62,6 +64,30 @@ if [ "$quick" = 1 ]; then
   else
     echo "note: build-tsan/tests/sweep_runner_test not built; for the TSan pass run:" >&2
     echo "  cmake --preset tsan && cmake --build --preset tsan --target sweep_runner_test" >&2
+  fi
+
+  # Differential fuzz pass: fixed base seed, wall-clock bounded, every preset x strategy x
+  # fast-path combo. Prefers the dedicated fuzz preset build, falls back to build-asan.
+  fuzz_bin=""
+  for candidate in "$repo_root/build-fuzz/examples/fuzz" "$repo_root/build-asan/examples/fuzz"; do
+    if [ -x "$candidate" ]; then
+      fuzz_bin="$candidate"
+      break
+    fi
+  done
+  if [ -n "$fuzz_bin" ]; then
+    echo "==> differential fuzz (asan, 30s)"
+    if ! "$fuzz_bin" --max-seconds=30 --seed=20260807 --ops=4000 --minimize \
+        --out="$out_dir/fuzz_minimized.replay" > "$out_dir/fuzz_quick.txt" 2>&1; then
+      echo "FAILED: differential fuzz found a divergence" >&2
+      echo "  log:    $out_dir/fuzz_quick.txt" >&2
+      echo "  replay: $out_dir/fuzz_minimized.replay" >&2
+      echo "  rerun:  $fuzz_bin --replay=$out_dir/fuzz_minimized.replay" >&2
+      failed=1
+    fi
+  else
+    echo "note: examples/fuzz not built under ASan; for the fuzz pass run:" >&2
+    echo "  cmake --preset fuzz && cmake --build --preset fuzz --target fuzz" >&2
   fi
 fi
 

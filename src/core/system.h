@@ -36,6 +36,12 @@ class System {
   Machine& machine() { return machine_; }
   Kernel& kernel() { return kernel_; }
   Mmu& mmu() { return kernel_.mmu(); }
+
+  // Enumerates every live cached translation (TLB + HTAB, zombies skipped) — the
+  // verification hook the differential fuzzer cross-checks against its reference oracle.
+  void ForEachLiveTranslation(const std::function<void(const LiveTranslation&)>& fn) {
+    kernel_.ForEachLiveTranslation(fn);
+  }
   const HwCounters& counters() const { return machine_.counters(); }
   const MachineConfig& machine_config() const { return machine_.config(); }
   const OptimizationConfig& opt_config() const { return kernel_.config(); }

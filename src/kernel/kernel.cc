@@ -504,6 +504,13 @@ uint32_t Kernel::MapFramebuffer() {
   if (config_.framebuffer_bat) {
     // The §5.1 idea: a user-visible, cache-inhibited data BAT over the aperture. Accesses
     // then bypass the TLB and HTAB entirely; the VMA above never faults.
+    SetFramebufferBat(true);
+  }
+  return start;
+}
+
+void Kernel::SetFramebufferBat(bool on) {
+  if (on) {
     const BatEntry bat{.valid = true,
                        .eff_base = kUserFramebufferBase,
                        .block_bytes = kFramebufferBytes,
@@ -511,8 +518,78 @@ uint32_t Kernel::MapFramebuffer() {
                        .cache_inhibited = true,
                        .supervisor_only = false};
     mmu_->dbats().Set(1, bat);
+  } else {
+    mmu_->dbats().Clear(1);
   }
-  return start;
+}
+
+void Kernel::ForEachLiveTranslation(const std::function<void(const LiveTranslation&)>& fn) {
+  // Reverse map: user VSID -> (owner, segment). Rebuilt per call; this is a verification
+  // walk, not a simulated path, so nothing is charged.
+  std::map<uint32_t, std::pair<TaskId, uint32_t>> user_vsids;
+  for (auto& [id, t] : tasks_) {
+    for (uint32_t seg = 0; seg < kFirstKernelSegment; ++seg) {
+      user_vsids.emplace(vsids_.UserVsid(t->mm->context, seg).value,
+                         std::make_pair(t->id, seg));
+    }
+  }
+  const auto resolve = [&](Vsid vsid, uint32_t page_index) -> std::optional<LiveTranslation> {
+    LiveTranslation lt;
+    if (VsidSpace::IsKernelVsid(vsid)) {
+      for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
+        if (VsidSpace::KernelVsid(seg) == vsid) {
+          lt.is_kernel = true;
+          lt.owner = TaskId{0};
+          lt.ea_page = (seg << kPageIndexBits) | page_index;
+          return lt;
+        }
+      }
+      return std::nullopt;
+    }
+    const auto it = user_vsids.find(vsid.value);
+    if (it == user_vsids.end()) {
+      return std::nullopt;  // zombie: retired VSID, architecturally unreachable
+    }
+    lt.is_kernel = false;
+    lt.owner = it->second.first;
+    lt.ea_page = (it->second.second << kPageIndexBits) | page_index;
+    return lt;
+  };
+  const auto visit_tlb = [&](const Tlb& tlb, LiveTranslation::Tier tier) {
+    tlb.ForEachValid([&](const TlbEntry& entry) {
+      std::optional<LiveTranslation> lt = resolve(entry.vsid, entry.page_index);
+      if (!lt.has_value()) {
+        return;
+      }
+      lt->tier = tier;
+      lt->frame = entry.frame;
+      lt->writable = entry.writable;
+      lt->changed = entry.changed;
+      fn(*lt);
+    });
+  };
+  visit_tlb(mmu_->itlb(), LiveTranslation::Tier::kItlb);
+  visit_tlb(mmu_->dtlb(), LiveTranslation::Tier::kDtlb);
+  if (mmu_->policy().UsesHtab()) {
+    const HashTable& htab = mmu_->htab();
+    for (uint32_t pteg = 0; pteg < htab.num_ptegs(); ++pteg) {
+      for (uint32_t slot = 0; slot < kPtesPerPteg; ++slot) {
+        const HashedPte& pte = htab.At(pteg, slot);
+        if (!pte.valid) {
+          continue;
+        }
+        std::optional<LiveTranslation> lt = resolve(pte.vsid, pte.page_index);
+        if (!lt.has_value()) {
+          continue;
+        }
+        lt->tier = LiveTranslation::Tier::kHtab;
+        lt->frame = pte.rpn;
+        lt->writable = pte.writable;
+        lt->changed = pte.changed;
+        fn(*lt);
+      }
+    }
+  }
 }
 
 void Kernel::ReleaseFrame(uint32_t frame) {

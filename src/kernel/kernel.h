@@ -63,6 +63,20 @@ struct MmapOptions {
   bool writable = true;
 };
 
+// One live (reachable) cached translation, as enumerated by ForEachLiveTranslation: a valid
+// TLB or HTAB entry whose VSID still resolves through a live context or a kernel segment.
+// Zombie entries (retired VSIDs, §7) are skipped — they are architecturally unreachable.
+struct LiveTranslation {
+  enum class Tier { kItlb, kDtlb, kHtab };
+  Tier tier = Tier::kItlb;
+  bool is_kernel = false;
+  TaskId owner;         // the task whose context the VSID belongs to; {0} for kernel entries
+  uint32_t ea_page = 0;  // 20-bit effective page number in the owner's address space
+  uint32_t frame = 0;
+  bool writable = false;
+  bool changed = false;  // the C bit
+};
+
 // The image installed by Exec().
 struct ExecImage {
   uint32_t text_pages = 16;
@@ -130,6 +144,14 @@ class Kernel : public PteBackingSource {
   // First physical frame of the framebuffer aperture.
   uint32_t FramebufferFirstFrame() const { return framebuffer_first_frame_; }
   bool IsIoFrame(uint32_t frame) const { return frame >= framebuffer_first_frame_; }
+
+  // Programs (on) or clears (off) the user-visible framebuffer DBAT — the §5.1 extension's
+  // register write, exposed so workloads can model an X server remapping its aperture
+  // mid-run. Independent of any VMA state; BatArray's generation counter keeps the MMU fast
+  // path coherent across the rewrite.
+  void SetFramebufferBat(bool on);
+  // True while the framebuffer DBAT is programmed.
+  bool FramebufferBatActive() { return mmu_->dbats().Get(1).valid; }
 
   // read()/write() through the page cache into/out of the current task's buffer.
   void FileRead(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_dst);
@@ -211,6 +233,12 @@ class Kernel : public PteBackingSource {
       fn(*t);
     }
   }
+
+  // Visits every *live* cached translation — valid TLB entries and (when the strategy uses
+  // the HTAB) valid HTAB entries whose VSID resolves through a live context or a kernel
+  // segment. Zombies are skipped. Uncharged and side-effect free; the differential fuzzer
+  // cross-checks each visit against its oracle and the owner's PTE tree.
+  void ForEachLiveTranslation(const std::function<void(const LiveTranslation&)>& fn);
 
   // Threads a fault injector through every registered site (MMU access path, HTAB inserts,
   // get_free_page, VSID allocation, context switches). Pass nullptr to disarm.

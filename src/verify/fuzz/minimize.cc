@@ -1,0 +1,81 @@
+#include "src/verify/fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+namespace {
+
+// Divergences are state corruptions: once the kernel and the oracle disagree, the final
+// cross-check sees it. Dense per-op sweeps are only worth their cost on small candidates.
+uint32_t ProbeCheckPeriod(size_t op_count) { return op_count <= 256 ? 1 : 64; }
+
+}  // namespace
+
+MinimizeResult MinimizeStream(const FuzzStream& stream, const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.minimized.seed = stream.seed;
+
+  auto diverges = [&](const std::vector<FuzzOp>& ops) {
+    FuzzStream candidate{stream.seed, ops};
+    DifferentialOptions run = options.run;
+    run.check_period = ProbeCheckPeriod(ops.size());
+    ++result.probe_runs;
+    return RunDifferential(candidate, run).diverged;
+  };
+
+  // Confirm the failure and cut everything after the op it surfaced on. (A divergence
+  // found at op N never needs ops > N: the machine state that disagreed was fully
+  // determined by the prefix.)
+  DifferentialResult base = RunDifferential(stream, options.run);
+  ++result.probe_runs;
+  PPCMM_CHECK_MSG(base.diverged, "MinimizeStream called with a non-diverging stream");
+  std::vector<FuzzOp> ops(stream.ops.begin(),
+                          stream.ops.begin() + std::min<size_t>(stream.ops.size(),
+                                                                base.failed_op_index + 1));
+  PPCMM_CHECK_MSG(diverges(ops), "divergence vanished after truncating to the failing op");
+
+  // Delta debugging to a fixpoint: try deleting chunks of shrinking size; any deletion
+  // that keeps the divergence is kept. Restart after a successful round in case earlier
+  // chunks became deletable.
+  bool shrunk = true;
+  while (shrunk && result.probe_runs < options.max_probe_runs) {
+    shrunk = false;
+    for (size_t chunk = std::max<size_t>(ops.size() / 2, 1); chunk >= 1; chunk /= 2) {
+      for (size_t start = 0; start + chunk <= ops.size() &&
+                             result.probe_runs < options.max_probe_runs;) {
+        if (chunk == ops.size()) {
+          break;  // never try the empty stream
+        }
+        std::vector<FuzzOp> candidate;
+        candidate.reserve(ops.size() - chunk);
+        candidate.insert(candidate.end(), ops.begin(),
+                         ops.begin() + static_cast<long>(start));
+        candidate.insert(candidate.end(), ops.begin() + static_cast<long>(start + chunk),
+                         ops.end());
+        if (diverges(candidate)) {
+          ops = std::move(candidate);
+          shrunk = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        break;
+      }
+    }
+  }
+
+  result.minimized.ops = std::move(ops);
+  // The definitive rerun: per-op cross-checks, so the stored failure report points at the
+  // earliest op the divergence can surface on.
+  DifferentialOptions final_run = options.run;
+  final_run.check_period = 1;
+  result.failure = RunDifferential(result.minimized, final_run);
+  PPCMM_CHECK_MSG(result.failure.diverged, "minimized stream no longer diverges");
+  return result;
+}
+
+}  // namespace ppcmm

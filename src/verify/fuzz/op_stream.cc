@@ -1,0 +1,169 @@
+#include "src/verify/fuzz/op_stream.h"
+
+#include <sstream>
+
+#include "src/sim/rng.h"
+
+namespace ppcmm {
+
+namespace {
+
+struct KindInfo {
+  FuzzOpKind kind;
+  const char* name;
+  uint32_t weight;
+};
+
+// Touches dominate (they are where divergences *surface*); the structural ops are frequent
+// enough that a 10k-op stream exercises each one hundreds of times.
+constexpr KindInfo kKinds[kNumFuzzOpKinds] = {
+    {FuzzOpKind::kTouch, "touch", 50},
+    {FuzzOpKind::kMmap, "mmap", 8},
+    {FuzzOpKind::kMmapFixed, "mmap_fixed", 3},
+    {FuzzOpKind::kMunmap, "munmap", 6},
+    {FuzzOpKind::kFork, "fork", 3},
+    {FuzzOpKind::kExit, "exit", 2},
+    {FuzzOpKind::kExec, "exec", 2},
+    {FuzzOpKind::kSwitch, "switch", 8},
+    {FuzzOpKind::kTlbie, "tlbie", 3},
+    {FuzzOpKind::kTlbia, "tlbia", 2},
+    {FuzzOpKind::kFbMap, "fb_map", 2},
+    {FuzzOpKind::kFbTouch, "fb_touch", 6},
+    {FuzzOpKind::kFbBatToggle, "fb_bat_toggle", 2},
+    {FuzzOpKind::kIdle, "idle", 3},
+};
+
+uint32_t TotalWeight() {
+  uint32_t total = 0;
+  for (const KindInfo& info : kKinds) {
+    total += info.weight;
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* FuzzOpName(FuzzOpKind kind) {
+  for (const KindInfo& info : kKinds) {
+    if (info.kind == kind) {
+      return info.name;
+    }
+  }
+  return "?";
+}
+
+FuzzOpKind FuzzOpKindFromName(const std::string& name, bool* ok) {
+  for (const KindInfo& info : kKinds) {
+    if (name == info.name) {
+      *ok = true;
+      return info.kind;
+    }
+  }
+  *ok = false;
+  return FuzzOpKind::kTouch;
+}
+
+FuzzStream GenerateStream(uint64_t seed, uint32_t op_count) {
+  FuzzStream stream;
+  stream.seed = seed;
+  stream.ops.reserve(op_count);
+  Rng rng(seed);
+  const uint32_t total_weight = TotalWeight();
+  for (uint32_t i = 0; i < op_count; ++i) {
+    uint32_t pick = static_cast<uint32_t>(rng.NextBelow(total_weight));
+    FuzzOpKind kind = FuzzOpKind::kTouch;
+    for (const KindInfo& info : kKinds) {
+      if (pick < info.weight) {
+        kind = info.kind;
+        break;
+      }
+      pick -= info.weight;
+    }
+    stream.ops.push_back(FuzzOp{.kind = kind,
+                                .a = static_cast<uint32_t>(rng.Next()),
+                                .b = static_cast<uint32_t>(rng.Next()),
+                                .c = static_cast<uint32_t>(rng.Next())});
+  }
+  return stream;
+}
+
+std::string SerializeStream(const FuzzStream& stream) {
+  std::ostringstream oss;
+  oss << "ppcmm-fuzz-replay v1\n";
+  oss << "seed " << stream.seed << "\n";
+  for (const FuzzOp& op : stream.ops) {
+    oss << FuzzOpName(op.kind) << " " << op.a << " " << op.b << " " << op.c << "\n";
+  }
+  return oss.str();
+}
+
+bool ParseStream(const std::string& text, FuzzStream* out, std::string* error) {
+  std::istringstream iss(text);
+  std::string line;
+  FuzzStream stream;
+  bool saw_header = false;
+  uint32_t line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    // Trim trailing CR (files may arrive with DOS endings).
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (!saw_header) {
+      if (line != "ppcmm-fuzz-replay v1") {
+        *error = "line 1: expected header 'ppcmm-fuzz-replay v1'";
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "seed") {
+      if (!(ls >> stream.seed)) {
+        *error = "line " + std::to_string(line_no) + ": malformed seed";
+        return false;
+      }
+      continue;
+    }
+    bool ok = false;
+    FuzzOp op;
+    op.kind = FuzzOpKindFromName(word, &ok);
+    if (!ok) {
+      *error = "line " + std::to_string(line_no) + ": unknown op '" + word + "'";
+      return false;
+    }
+    if (!(ls >> op.a >> op.b >> op.c)) {
+      *error = "line " + std::to_string(line_no) + ": expected three operands after '" +
+               word + "'";
+      return false;
+    }
+    stream.ops.push_back(op);
+  }
+  if (!saw_header) {
+    *error = "empty input (no header)";
+    return false;
+  }
+  *out = std::move(stream);
+  return true;
+}
+
+std::string OpCoverage::Report() const {
+  std::ostringstream oss;
+  oss << "op coverage (executed / skipped):\n";
+  for (const KindInfo& info : kKinds) {
+    const uint32_t i = static_cast<uint32_t>(info.kind);
+    oss << "  " << info.name;
+    for (size_t pad = std::string(info.name).size(); pad < 14; ++pad) {
+      oss << ' ';
+    }
+    oss << executed[i] << " / " << skipped[i] << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ppcmm

@@ -1,0 +1,68 @@
+// Trivially-correct reference model of one set-associative cache.
+//
+// Part of the shared oracle layer under src/verify/fuzz/: deliberately slow, obviously
+// correct, and sharing zero code with the real models in src/sim/. The LRU discipline is a
+// std::list per set with the most-recently-used line at the back — exactly the textbook
+// description, with none of the real Cache's indexing or stamp tricks. Promoted out of
+// tests/reference_model_test.cc so the model-based unit tests and the differential fuzzer
+// check the same reference.
+
+#ifndef PPCMM_SRC_VERIFY_FUZZ_REFERENCE_CACHE_H_
+#define PPCMM_SRC_VERIFY_FUZZ_REFERENCE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "src/sim/machine_config.h"
+#include "src/sim/phys_addr.h"
+
+namespace ppcmm {
+
+// Reference cache: a map of (set -> LRU list of resident lines).
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(const CacheGeometry& geometry) : geometry_(geometry) {}
+
+  // Returns true on hit; mirrors LRU with invalid-way preference via eviction on overflow.
+  bool Access(PhysAddr pa) {
+    const uint64_t line = pa.value / geometry_.line_bytes;
+    const uint32_t set = line & (geometry_.NumSets() - 1);
+    std::list<uint64_t>& lru = sets_[set];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == line) {
+        lru.erase(it);
+        lru.push_back(line);  // most recent at the back
+        return true;
+      }
+    }
+    lru.push_back(line);
+    if (lru.size() > geometry_.associativity) {
+      lru.pop_front();
+    }
+    return false;
+  }
+
+  bool Contains(PhysAddr pa) const {
+    const uint64_t line = pa.value / geometry_.line_bytes;
+    const uint32_t set = line & (geometry_.NumSets() - 1);
+    auto it = sets_.find(set);
+    if (it == sets_.end()) {
+      return false;
+    }
+    for (const uint64_t resident : it->second) {
+      if (resident == line) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  CacheGeometry geometry_;
+  std::map<uint32_t, std::list<uint64_t>> sets_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_VERIFY_FUZZ_REFERENCE_CACHE_H_

@@ -1,0 +1,70 @@
+// Trivially-correct reference model of one split-TLB side.
+//
+// Keyed by the full (VSID, page index) virtual page with the same set selection and LRU
+// discipline as the hardware model, but built on a map of std::lists — no way arrays, no
+// tick stamps, nothing to get subtly wrong. Promoted out of tests/reference_model_test.cc
+// so the model-based unit tests and the differential fuzzer check the same reference.
+
+#ifndef PPCMM_SRC_VERIFY_FUZZ_REFERENCE_TLB_H_
+#define PPCMM_SRC_VERIFY_FUZZ_REFERENCE_TLB_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+namespace ppcmm {
+
+// Reference TLB: a map of (set -> LRU list of (vsid, page index) keys).
+struct ReferenceTlb {
+  explicit ReferenceTlb(uint32_t entries, uint32_t ways)
+      : num_sets(entries / ways), associativity(ways) {}
+
+  struct Key {
+    uint32_t vsid;
+    uint32_t page_index;
+    bool operator==(const Key& o) const {
+      return vsid == o.vsid && page_index == o.page_index;
+    }
+  };
+
+  bool Lookup(uint32_t vsid, uint32_t page_index) {
+    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == Key{vsid, page_index}) {
+        Key k = *it;
+        lru.erase(it);
+        lru.push_back(k);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Insert(uint32_t vsid, uint32_t page_index) {
+    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == Key{vsid, page_index}) {
+        lru.erase(it);
+        break;
+      }
+    }
+    lru.push_back(Key{vsid, page_index});
+    if (lru.size() > associativity) {
+      lru.pop_front();
+    }
+  }
+
+  // tlbie semantics: clears the page from its set regardless of VSID.
+  void InvalidatePage(uint32_t page_index) {
+    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
+    lru.remove_if([page_index](const Key& k) { return k.page_index == page_index; });
+  }
+
+  uint32_t num_sets;
+  uint32_t associativity;
+  std::map<uint32_t, std::list<Key>> sets;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_VERIFY_FUZZ_REFERENCE_TLB_H_

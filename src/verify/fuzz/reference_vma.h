@@ -1,0 +1,114 @@
+// Trivially-correct reference model of a task's VMA space.
+//
+// One map entry per mapped page — no interval lists, no split/trim logic. Slow and obvious
+// on purpose: VmaList's insert/remove edge cases (splitting a region in the middle,
+// trimming an end, coalesced totals) all reduce here to per-page map operations that
+// cannot be wrong in an interesting way. Used by tests/reference_model_test.cc against
+// VmaList and by the differential fuzzer's ReferenceMmu as the oracle's address-space map.
+
+#ifndef PPCMM_SRC_VERIFY_FUZZ_REFERENCE_VMA_H_
+#define PPCMM_SRC_VERIFY_FUZZ_REFERENCE_VMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/check.h"
+
+namespace ppcmm {
+
+// Per-page attributes the oracle cares about. `kind` is an opaque tag (the fuzzer stores a
+// RefRegionKind in it); the model only compares it for equality when coalescing regions.
+struct RefVmaAttr {
+  bool writable = false;
+  uint8_t kind = 0;
+  bool operator==(const RefVmaAttr&) const = default;
+};
+
+// Reference VMA model: a map of page -> attributes.
+class ReferenceVmaModel {
+ public:
+  bool RangeIsFree(uint32_t start, uint32_t count) const {
+    for (uint32_t p = start; p < start + count; ++p) {
+      if (pages_.contains(p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Insert(uint32_t start, uint32_t count, RefVmaAttr attr) {
+    PPCMM_CHECK_MSG(RangeIsFree(start, count), "reference VMA insert over mapped pages");
+    for (uint32_t p = start; p < start + count; ++p) {
+      pages_.emplace(p, attr);
+    }
+  }
+
+  // Returns the number of previously-mapped pages removed (VmaList::Remove contract).
+  uint32_t Remove(uint32_t start, uint32_t count) {
+    uint32_t removed = 0;
+    for (uint32_t p = start; p < start + count; ++p) {
+      removed += static_cast<uint32_t>(pages_.erase(p));
+    }
+    return removed;
+  }
+
+  std::optional<RefVmaAttr> Find(uint32_t page) const {
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  uint32_t TotalPages() const { return static_cast<uint32_t>(pages_.size()); }
+
+  // Lowest free run of `count` pages starting at or after `hint` (VmaList::FindFreeRange
+  // semantics, by linear scan).
+  uint32_t FindFreeRange(uint32_t hint, uint32_t count) const {
+    uint32_t cand = hint;
+    while (true) {
+      bool free = true;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (pages_.contains(cand + i)) {
+          cand = cand + i + 1;
+          free = false;
+          break;
+        }
+      }
+      if (free) {
+        return cand;
+      }
+    }
+  }
+
+  struct Region {
+    uint32_t start = 0;
+    uint32_t pages = 0;
+    RefVmaAttr attr;
+  };
+
+  // Contiguous runs of pages with identical attributes, in address order.
+  std::vector<Region> Regions() const {
+    std::vector<Region> out;
+    for (const auto& [page, attr] : pages_) {
+      if (!out.empty() && out.back().start + out.back().pages == page &&
+          out.back().attr == attr) {
+        ++out.back().pages;
+      } else {
+        out.push_back(Region{.start = page, .pages = 1, .attr = attr});
+      }
+    }
+    return out;
+  }
+
+  void Clear() { pages_.clear(); }
+
+ private:
+  std::map<uint32_t, RefVmaAttr> pages_;
+};
+
+}  // namespace ppcmm
+
+#endif  // PPCMM_SRC_VERIFY_FUZZ_REFERENCE_VMA_H_

@@ -164,6 +164,75 @@ TEST_P(PropertySweep, TranslationConsistency) {
   kernel.Exit(t);
 }
 
+// tlbia, tlbie and framebuffer-BAT rewrites thrown into the middle of a touch stream must
+// be architecturally invisible: after every single operation, every reachable page still
+// translates to exactly the frame the Linux tree records, and the aperture reaches the
+// same physical frames through the BAT as through PTEs.
+TEST_P(PropertySweep, TlbiaAndBatRewriteConsistency) {
+  System sys(Machine(), Config());
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("t");
+  kernel.Exec(t, ExecImage{.text_pages = 8, .data_pages = 48, .stack_pages = 4});
+  kernel.SwitchTo(t);
+  const uint32_t fb_start = kernel.MapFramebuffer();
+  const uint32_t fb_first_frame = kernel.FramebufferFirstFrame();
+  Rng rng(515);
+  bool bat_on = kernel.FramebufferBatActive();
+
+  const auto assert_consistent = [&](EffAddr ea) {
+    // Re-touch first: after a tlbia/tlbie/BAT rewrite the access must transparently
+    // re-fault or reload (a framebuffer page previously served by the BAT has no PTE
+    // until this touch installs one).
+    kernel.UserTouch(ea, AccessKind::kLoad);
+    const auto pa = sys.mmu().Probe(ea, AccessKind::kLoad);
+    ASSERT_TRUE(pa.has_value()) << "unreachable at 0x" << std::hex << ea.value;
+    if (ea.EffPageNumber() >= fb_start && ea.EffPageNumber() < fb_start + 512) {
+      ASSERT_EQ(pa->PageFrame(), fb_first_frame + (ea.EffPageNumber() - fb_start))
+          << "framebuffer aperture mistranslated at 0x" << std::hex << ea.value;
+      if (bat_on) {
+        return;  // BAT path: no PTE required
+      }
+    }
+    const auto pte = kernel.task(t).mm->page_table->LookupQuiet(ea);
+    ASSERT_TRUE(pte.has_value() && pte->present);
+    ASSERT_EQ(pa->PageFrame(), pte->frame) << "stale translation at 0x" << std::hex << ea.value;
+  };
+
+  EffAddr last_touched(kUserDataBase);
+  for (int i = 0; i < 500; ++i) {
+    switch (rng.NextBelow(6)) {
+      case 0:
+      case 1: {  // ordinary data touch
+        const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(44)) * kPageSize;
+        last_touched = EffAddr(kUserDataBase + offset);
+        kernel.UserTouch(last_touched,
+                         rng.Chance(1, 2) ? AccessKind::kStore : AccessKind::kLoad);
+        break;
+      }
+      case 2: {  // framebuffer touch: BAT path or PTE path depending on the rewrites below
+        const uint32_t page = fb_start + static_cast<uint32_t>(rng.NextBelow(512));
+        last_touched = EffAddr::FromPage(page);
+        kernel.UserTouch(last_touched,
+                         rng.Chance(1, 2) ? AccessKind::kStore : AccessKind::kLoad);
+        break;
+      }
+      case 3:  // BAT rewrite mid-stream, both directions
+        bat_on = !bat_on;
+        kernel.SetFramebufferBat(bat_on);
+        ASSERT_EQ(kernel.FramebufferBatActive(), bat_on);
+        break;
+      case 4:  // tlbie the page we just used
+        sys.mmu().TlbInvalidatePage(last_touched);
+        break;
+      case 5:  // wipe both TLBs outright
+        sys.mmu().TlbInvalidateAll();
+        break;
+    }
+    assert_consistent(last_touched);
+  }
+  kernel.Exit(t);
+}
+
 TEST_P(PropertySweep, DeterministicReplay) {
   System a(Machine(), Config());
   System b(Machine(), Config());

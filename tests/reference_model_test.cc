@@ -1,71 +1,28 @@
 // Model-based property tests: drive the hardware models with random operation streams and
-// check them against trivially-correct reference implementations.
+// check them against the trivially-correct reference implementations the differential
+// fuzzer also uses (src/verify/fuzz/reference_*.h):
 //
-//   Cache  vs a map of (set -> LRU list) built with std::list
-//   Tlb    vs a map keyed by (vsid, page index) with the same set/LRU discipline
-//   VmaList vs a std::map of page -> mapped?
+//   Cache   vs ReferenceCache   — a map of (set -> LRU list) built with std::list
+//   Tlb     vs ReferenceTlb     — a map keyed by (vsid, page index), same set/LRU discipline
+//   VmaList vs ReferenceVmaModel — a std::map of page -> attributes
 //
 // These catch exactly the bookkeeping bugs unit tests miss: stale LRU stamps, wrong set
 // indexing, split/trim edge cases.
 
 #include <gtest/gtest.h>
 
-#include <list>
-#include <map>
-#include <set>
-
 #include "src/kernel/vma.h"
 #include "src/mmu/tlb.h"
 #include "src/sim/cache.h"
 #include "src/sim/rng.h"
+#include "src/verify/fuzz/reference_cache.h"
+#include "src/verify/fuzz/reference_tlb.h"
+#include "src/verify/fuzz/reference_vma.h"
 
 namespace ppcmm {
 namespace {
 
 // ---- Cache vs reference ----
-
-class ReferenceCache {
- public:
-  explicit ReferenceCache(const CacheGeometry& geometry) : geometry_(geometry) {}
-
-  // Returns true on hit; mirrors LRU with invalid-way preference via eviction on overflow.
-  bool Access(PhysAddr pa) {
-    const uint64_t line = pa.value / geometry_.line_bytes;
-    const uint32_t set = line & (geometry_.NumSets() - 1);
-    std::list<uint64_t>& lru = sets_[set];
-    for (auto it = lru.begin(); it != lru.end(); ++it) {
-      if (*it == line) {
-        lru.erase(it);
-        lru.push_back(line);  // most recent at the back
-        return true;
-      }
-    }
-    lru.push_back(line);
-    if (lru.size() > geometry_.associativity) {
-      lru.pop_front();
-    }
-    return false;
-  }
-
-  bool Contains(PhysAddr pa) const {
-    const uint64_t line = pa.value / geometry_.line_bytes;
-    const uint32_t set = line & (geometry_.NumSets() - 1);
-    auto it = sets_.find(set);
-    if (it == sets_.end()) {
-      return false;
-    }
-    for (const uint64_t resident : it->second) {
-      if (resident == line) {
-        return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  CacheGeometry geometry_;
-  std::map<uint32_t, std::list<uint64_t>> sets_;
-};
 
 class CacheModelSweep : public ::testing::TestWithParam<CacheGeometry> {};
 
@@ -105,55 +62,6 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---- TLB vs reference ----
 
-struct ReferenceTlb {
-  explicit ReferenceTlb(uint32_t entries, uint32_t ways)
-      : num_sets(entries / ways), associativity(ways) {}
-
-  struct Key {
-    uint32_t vsid;
-    uint32_t page_index;
-    bool operator==(const Key& o) const {
-      return vsid == o.vsid && page_index == o.page_index;
-    }
-  };
-
-  bool Lookup(uint32_t vsid, uint32_t page_index) {
-    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
-    for (auto it = lru.begin(); it != lru.end(); ++it) {
-      if (*it == Key{vsid, page_index}) {
-        Key k = *it;
-        lru.erase(it);
-        lru.push_back(k);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void Insert(uint32_t vsid, uint32_t page_index) {
-    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
-    for (auto it = lru.begin(); it != lru.end(); ++it) {
-      if (*it == Key{vsid, page_index}) {
-        lru.erase(it);
-        break;
-      }
-    }
-    lru.push_back(Key{vsid, page_index});
-    if (lru.size() > associativity) {
-      lru.pop_front();
-    }
-  }
-
-  void InvalidatePage(uint32_t page_index) {
-    std::list<Key>& lru = sets[page_index & (num_sets - 1)];
-    lru.remove_if([page_index](const Key& k) { return k.page_index == page_index; });
-  }
-
-  uint32_t num_sets;
-  uint32_t associativity;
-  std::map<uint32_t, std::list<Key>> sets;
-};
-
 TEST(TlbModelTest, MatchesReferenceUnderRandomTraffic) {
   Tlb tlb("model", 64, 2);
   ReferenceTlb reference(64, 2);
@@ -192,39 +100,31 @@ TEST(TlbModelTest, MatchesReferenceUnderRandomTraffic) {
 
 TEST(VmaModelTest, MatchesPageMapUnderRandomInsertRemove) {
   VmaList vmas;
-  std::set<uint32_t> mapped;  // reference: the set of mapped pages
+  ReferenceVmaModel reference;
   Rng rng(99);
   for (int i = 0; i < 4000; ++i) {
     const uint32_t start = static_cast<uint32_t>(rng.NextBelow(512));
     const uint32_t count = 1 + static_cast<uint32_t>(rng.NextBelow(24));
     if (rng.Chance(1, 2)) {
       // Insert only when the model says the range is free; verify it agrees.
-      bool free = true;
-      for (uint32_t p = start; p < start + count; ++p) {
-        free = free && !mapped.contains(p);
-      }
+      const bool free = reference.RangeIsFree(start, count);
       ASSERT_EQ(vmas.RangeIsFree(start, count), free) << "RangeIsFree divergence";
       if (free) {
         vmas.Insert(Vma{.start_page = start, .end_page = start + count, .writable = true,
                         .backing = VmaBacking::kAnonymous});
-        for (uint32_t p = start; p < start + count; ++p) {
-          mapped.insert(p);
-        }
+        reference.Insert(start, count, RefVmaAttr{.writable = true});
       }
     } else {
-      uint32_t removed_reference = 0;
-      for (uint32_t p = start; p < start + count; ++p) {
-        removed_reference += mapped.erase(p);
-      }
+      const uint32_t removed_reference = reference.Remove(start, count);
       const uint32_t removed_model = vmas.Remove(start, count);
       ASSERT_EQ(removed_model, removed_reference) << "Remove divergence at step " << i;
     }
     if (i % 251 == 0) {
       // Spot-check membership and totals.
       for (uint32_t p = 0; p < 560; p += 7) {
-        ASSERT_EQ(vmas.Find(p).has_value(), mapped.contains(p)) << "page " << p;
+        ASSERT_EQ(vmas.Find(p).has_value(), reference.Find(p).has_value()) << "page " << p;
       }
-      ASSERT_EQ(vmas.TotalPages(), mapped.size());
+      ASSERT_EQ(vmas.TotalPages(), reference.TotalPages());
     }
   }
 }

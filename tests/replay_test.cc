@@ -1,0 +1,69 @@
+// Checked-in replay corpus: every tests/replays/*.replay file must parse and run
+// divergence-free through the full strategy x fast-path matrix under both the baseline and
+// the fully-optimized preset. The corpus pins down op mixes that once mattered (cutoff
+// boundary remaps, fork/COW/exit interleavings, framebuffer BAT rewrites under tlbia) so
+// they stay covered even if the generator's weights drift.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/verify/fuzz/differential.h"
+
+namespace ppcmm {
+namespace {
+
+std::vector<std::filesystem::path> ReplayFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(PPCMM_REPLAY_DIR)) {
+    if (entry.path().extension() == ".replay") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReplayCorpus, HasTheCheckedInFiles) { EXPECT_GE(ReplayFiles().size(), 3u); }
+
+class ReplayFile : public ::testing::TestWithParam<std::filesystem::path> {};
+
+TEST_P(ReplayFile, RunsCleanAcrossTheMatrix) {
+  std::ifstream in(GetParam());
+  ASSERT_TRUE(in) << "cannot open " << GetParam();
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  FuzzStream stream;
+  std::string error;
+  ASSERT_TRUE(ParseStream(text.str(), &stream, &error)) << GetParam() << ": " << error;
+  ASSERT_FALSE(stream.ops.empty());
+
+  for (const char* preset_name : {"baseline", "all", "all_fb_bat"}) {
+    const FuzzPreset preset = FuzzPresetByName(preset_name);
+    const MatrixResult result =
+        RunMatrix(stream, preset.config, preset.name, /*check_period=*/16);
+    EXPECT_FALSE(result.diverged) << GetParam() << "\n" << result.first_failure.report;
+    EXPECT_EQ(result.runs, 6u);
+  }
+}
+
+std::string ReplayCaseName(const ::testing::TestParamInfo<std::filesystem::path>& info) {
+  std::string name = info.param.stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ReplayFile, ::testing::ValuesIn(ReplayFiles()),
+                         ReplayCaseName);
+
+}  // namespace
+}  // namespace ppcmm
