@@ -2,21 +2,29 @@
 # Runs every reproduction bench and collects machine-readable BENCH_<name>.json reports
 # into bench-out/ (gitignored). Human-readable tables still go to stdout.
 #
-#   bench/run_all.sh [--quick] [build-dir]     default build dir: build
+#   bench/run_all.sh [--quick] [--lint] [build-dir]     default build dir: build
 #
 # --quick: smoke mode — shrunken workloads (PPCMM_QUICK=1), only the benches that finish in
 # seconds, plus a ThreadSanitizer pass over the sweep-runner tests when build-tsan exists
 # and a 30-second seeded differential-fuzz pass under ASan when build-fuzz (or build-asan)
 # exists. A fuzz divergence fails loudly and leaves the minimized repro in bench-out/.
+#
+# --lint: before any benches, run mmu-lint over the tree (using the build dir's binary)
+# and the format check. Bad numbers from a tree that violates its own architectural
+# contracts are not worth collecting.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 quick=0
-if [ "${1:-}" = "--quick" ]; then
-  quick=1
-  shift
-fi
+lint=0
+while :; do
+  case "${1:-}" in
+    --quick) quick=1; shift ;;
+    --lint) lint=1; shift ;;
+    *) break ;;
+  esac
+done
 build_dir=${1:-"$repo_root/build"}
 out_dir="$repo_root/bench-out"
 
@@ -28,6 +36,17 @@ fi
 
 mkdir -p "$out_dir"
 export PPCMM_BENCH_OUT="$out_dir"
+
+if [ "$lint" = 1 ]; then
+  lint_bin="$build_dir/tools/mmu-lint/mmu-lint"
+  if [ ! -x "$lint_bin" ]; then
+    echo "error: $lint_bin not built; build the mmu-lint target first" >&2
+    exit 1
+  fi
+  echo "==> mmu-lint"
+  "$lint_bin" --root "$repo_root"
+  "$repo_root/scripts/format_check.sh"
+fi
 
 if [ "$quick" = 1 ]; then
   export PPCMM_QUICK=1

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy) over src/ and tools/ using a build directory's
+# compile_commands.json.
+#
+#   scripts/run_clang_tidy.sh [build-dir]      default: build-lint, then build
+#
+# Exits 0 when clean OR when clang-tidy is not installed (the default dev container ships
+# only g++; CI installs the tool and gets the real check), 1 on findings, 2 when no
+# compilation database exists.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (CI runs the real check)"
+  exit 0
+fi
+
+build_dir=${1:-}
+if [ -z "$build_dir" ]; then
+  for candidate in "$repo_root/build-lint" "$repo_root/build"; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      build_dir=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json; configure with the lint preset first:" >&2
+  echo "  cmake --preset lint" >&2
+  exit 2
+fi
+
+# Fixture files are never compiled, so they have no compile_commands.json entries.
+files=$(git ls-files 'src/*.cc' 'src/*.cpp' 'tools/*.cc' | grep -v '^tools/mmu-lint/fixtures/' || true)
+# shellcheck disable=SC2086
+clang-tidy -p "$build_dir" --quiet $files
+echo "run_clang_tidy: clean"

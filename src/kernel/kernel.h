@@ -31,7 +31,7 @@
 #include "src/mmu/mmu.h"
 #include "src/pagetable/page_allocator.h"
 #include "src/sim/machine.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 

@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/sim/phys_addr.h"
 
 namespace ppcmm {

@@ -16,7 +16,7 @@
 #include "src/kernel/opt_config.h"
 #include "src/pagetable/page_allocator.h"
 #include "src/sim/machine.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "src/kernel/mem_manager.h"
@@ -66,7 +65,9 @@ class PageCache {
 
   Machine& machine_;
   MemManager& mem_;
-  std::unordered_map<uint32_t, File> files_;
+  // Ordered by file id: ReclaimPages frees frames in iteration order, so the container's
+  // order is simulated-state-visible and must not depend on the host's hash seed.
+  std::map<uint32_t, File> files_;
   uint32_t next_file_ = 1;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -12,7 +12,7 @@
 #include <map>
 #include <optional>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 
 namespace ppcmm {
 

@@ -18,9 +18,9 @@
 #include <functional>
 #include <unordered_set>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/mmu/vsid_oracle.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 

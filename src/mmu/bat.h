@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/sim/phys_addr.h"
 
 namespace ppcmm {

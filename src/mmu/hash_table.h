@@ -18,9 +18,9 @@
 #include <optional>
 #include <vector>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/mmu/hashed_pte.h"
-#include "src/mmu/mem_charge.h"
+#include "src/sim/mem_charge.h"
 #include "src/mmu/vsid_oracle.h"
 #include "src/sim/phys_addr.h"
 

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 
 namespace ppcmm {
 

@@ -25,15 +25,15 @@
 #include <cstdint>
 #include <optional>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/mmu/bat.h"
 #include "src/mmu/hash_table.h"
-#include "src/mmu/mem_charge.h"
+#include "src/sim/mem_charge.h"
 #include "src/mmu/segment_regs.h"
 #include "src/mmu/tlb.h"
 #include "src/mmu/vsid_oracle.h"
 #include "src/sim/machine.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 

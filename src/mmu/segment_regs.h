@@ -9,7 +9,7 @@
 
 #include <array>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/sim/check.h"
 
 namespace ppcmm {

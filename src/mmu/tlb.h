@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/sim/check.h"
 
 namespace ppcmm {

@@ -9,7 +9,7 @@
 #ifndef PPCMM_SRC_MMU_VSID_ORACLE_H_
 #define PPCMM_SRC_MMU_VSID_ORACLE_H_
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 
 namespace ppcmm {
 

@@ -5,7 +5,7 @@
 
 #include "src/core/stats.h"
 #include "src/core/system.h"
-#include "src/obs/probes.h"
+#include "src/sim/probes.h"
 
 namespace ppcmm {
 

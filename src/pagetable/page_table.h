@@ -13,8 +13,8 @@
 #include <functional>
 #include <optional>
 
-#include "src/mmu/addr.h"
-#include "src/mmu/mem_charge.h"
+#include "src/sim/addr.h"
+#include "src/sim/mem_charge.h"
 #include "src/pagetable/linux_pte.h"
 #include "src/pagetable/page_allocator.h"
 #include "src/sim/memory.h"

@@ -8,8 +8,8 @@
 // 24-bit virtual segment identifier (VSID) that replaces them, yielding the 52-bit virtual
 // address that the TLB and hashed page table are keyed by.
 
-#ifndef PPCMM_SRC_MMU_ADDR_H_
-#define PPCMM_SRC_MMU_ADDR_H_
+#ifndef PPCMM_SRC_SIM_ADDR_H_
+#define PPCMM_SRC_SIM_ADDR_H_
 
 #include <compare>
 #include <cstdint>
@@ -90,4 +90,4 @@ constexpr bool IsInstruction(AccessKind kind) { return kind == AccessKind::kInst
 
 }  // namespace ppcmm
 
-#endif  // PPCMM_SRC_MMU_ADDR_H_
+#endif  // PPCMM_SRC_SIM_ADDR_H_

@@ -19,8 +19,8 @@
 // pointer (the default everywhere) costs one branch. Tests target one class at a time with
 // Enable(cls, one_in) for a steady rate or ArmOnce(cls, after) for a single precise shot.
 
-#ifndef PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_
-#define PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_
+#ifndef PPCMM_SRC_SIM_FAULT_INJECTOR_H_
+#define PPCMM_SRC_SIM_FAULT_INJECTOR_H_
 
 #include <array>
 #include <cstdint>
@@ -140,4 +140,4 @@ class FaultInjector {
 
 }  // namespace ppcmm
 
-#endif  // PPCMM_SRC_VERIFY_FAULT_INJECTOR_H_
+#endif  // PPCMM_SRC_SIM_FAULT_INJECTOR_H_

@@ -1,10 +1,8 @@
-#include "src/obs/histogram.h"
+#include "src/sim/histogram.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-
-#include "src/obs/json.h"
 
 namespace ppcmm {
 
@@ -41,30 +39,6 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 }
 
 void LatencyHistogram::Clear() { *this = LatencyHistogram(); }
-
-JsonValue LatencyHistogram::ToJson() const {
-  JsonValue out = JsonValue::Object();
-  out.Set("count", total_);
-  out.Set("sum", sum_);
-  out.Set("min", Min());
-  out.Set("max", max_);
-  out.Set("mean", Mean());
-  out.Set("p50", Percentile(0.50));
-  out.Set("p95", Percentile(0.95));
-  out.Set("p99", Percentile(0.99));
-  JsonValue buckets = JsonValue::Array();
-  for (uint32_t bucket = 0; bucket < kBuckets; ++bucket) {
-    if (counts_[bucket] == 0) {
-      continue;
-    }
-    JsonValue entry = JsonValue::Object();
-    entry.Set("le", BucketUpperEdge(bucket));
-    entry.Set("count", counts_[bucket]);
-    buckets.Append(std::move(entry));
-  }
-  out.Set("buckets", std::move(buckets));
-  return out;
-}
 
 std::string LatencyHistogram::Summary() const {
   char buf[160];

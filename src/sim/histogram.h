@@ -6,8 +6,8 @@
 // computation and three stores — so the hot paths (TLB reload, page fault, flush) can feed
 // one on every event without perturbing the simulation's cycle accounting.
 
-#ifndef PPCMM_SRC_OBS_HISTOGRAM_H_
-#define PPCMM_SRC_OBS_HISTOGRAM_H_
+#ifndef PPCMM_SRC_SIM_HISTOGRAM_H_
+#define PPCMM_SRC_SIM_HISTOGRAM_H_
 
 #include <array>
 #include <bit>
@@ -15,8 +15,6 @@
 #include <string>
 
 namespace ppcmm {
-
-class JsonValue;
 
 // A histogram of uint64 samples in power-of-two buckets.
 //
@@ -75,10 +73,6 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
   void Clear();
 
-  // {"count":N,"sum":S,"min":m,"max":M,"mean":x,"p50":...,"p95":...,"p99":...,
-  //  "buckets":[{"le":upper,"count":n}, ...nonempty only]}
-  JsonValue ToJson() const;
-
   // One-line human summary: "n=1234 mean=56.7 p50=32 p95=255 p99=511 max=900".
   std::string Summary() const;
 
@@ -92,4 +86,4 @@ class LatencyHistogram {
 
 }  // namespace ppcmm
 
-#endif  // PPCMM_SRC_OBS_HISTOGRAM_H_
+#endif  // PPCMM_SRC_SIM_HISTOGRAM_H_

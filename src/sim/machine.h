@@ -7,7 +7,7 @@
 #ifndef PPCMM_SRC_SIM_MACHINE_H_
 #define PPCMM_SRC_SIM_MACHINE_H_
 
-#include "src/obs/probes.h"
+#include "src/sim/probes.h"
 #include "src/sim/cache.h"
 #include "src/sim/cycle_types.h"
 #include "src/sim/hw_counters.h"

@@ -5,8 +5,8 @@
 // bypass it — the §8 "cache misuse on page-tables" experiment is implemented entirely by
 // swapping that decision.
 
-#ifndef PPCMM_SRC_MMU_MEM_CHARGE_H_
-#define PPCMM_SRC_MMU_MEM_CHARGE_H_
+#ifndef PPCMM_SRC_SIM_MEM_CHARGE_H_
+#define PPCMM_SRC_SIM_MEM_CHARGE_H_
 
 #include "src/sim/phys_addr.h"
 
@@ -35,4 +35,4 @@ class NullMemCharger : public MemCharger {
 
 }  // namespace ppcmm
 
-#endif  // PPCMM_SRC_MMU_MEM_CHARGE_H_
+#endif  // PPCMM_SRC_SIM_MEM_CHARGE_H_

@@ -1,4 +1,4 @@
-#include "src/obs/probes.h"
+#include "src/sim/probes.h"
 
 namespace ppcmm {
 

@@ -7,14 +7,14 @@
 // uninstrumented runs stay cycle-identical — the simulation clock only advances through
 // Machine::AddCycles, never through observation.
 
-#ifndef PPCMM_SRC_OBS_PROBES_H_
-#define PPCMM_SRC_OBS_PROBES_H_
+#ifndef PPCMM_SRC_SIM_PROBES_H_
+#define PPCMM_SRC_SIM_PROBES_H_
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
-#include "src/obs/histogram.h"
+#include "src/sim/histogram.h"
 
 namespace ppcmm {
 
@@ -79,4 +79,4 @@ class LatencyProbes {
 
 }  // namespace ppcmm
 
-#endif  // PPCMM_SRC_OBS_PROBES_H_
+#endif  // PPCMM_SRC_SIM_PROBES_H_

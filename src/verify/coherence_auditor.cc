@@ -2,7 +2,7 @@
 
 #include <sstream>
 #include <string>
-#include <unordered_map>
+#include <map>
 
 #include "src/sim/check.h"
 
@@ -47,7 +47,7 @@ void CoherenceAuditor::Audit() {
   VsidSpace& vsids = kernel_.vsids();
 
   // ---- build the reverse map: live VSID -> owning PTE tree ----
-  std::unordered_map<uint32_t, Owner> owners;
+  std::map<uint32_t, Owner> owners;
   for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
     owners[VsidSpace::KernelVsid(seg).value] =
         Owner{&kernel_.kernel_page_table(), seg, 0, /*is_kernel=*/true};
@@ -195,7 +195,9 @@ void CoherenceAuditor::Audit() {
   PageAllocator& allocator = kernel_.allocator();
   const uint32_t arena_begin = allocator.first_frame();
   const uint32_t arena_end = arena_begin + allocator.TotalCount();
-  std::unordered_map<uint32_t, uint32_t> mappings_per_frame;
+  // Ordered: violation messages are emitted in iteration order and must be
+  // reproducible run to run.
+  std::map<uint32_t, uint32_t> mappings_per_frame;
   kernel_.ForEachTask([&](Task& task) {
     if (task.mm == nullptr) {
       return;

@@ -27,7 +27,7 @@ class ReferenceCache {
   // Returns true on hit; mirrors LRU with invalid-way preference via eviction on overflow.
   bool Access(PhysAddr pa) {
     const uint64_t line = pa.value / geometry_.line_bytes;
-    const uint32_t set = line & (geometry_.NumSets() - 1);
+    const uint32_t set = static_cast<uint32_t>(line & (geometry_.NumSets() - 1));
     std::list<uint64_t>& lru = sets_[set];
     for (auto it = lru.begin(); it != lru.end(); ++it) {
       if (*it == line) {
@@ -45,7 +45,7 @@ class ReferenceCache {
 
   bool Contains(PhysAddr pa) const {
     const uint64_t line = pa.value / geometry_.line_bytes;
-    const uint32_t set = line & (geometry_.NumSets() - 1);
+    const uint32_t set = static_cast<uint32_t>(line & (geometry_.NumSets() - 1));
     auto it = sets_.find(set);
     if (it == sets_.end()) {
       return false;

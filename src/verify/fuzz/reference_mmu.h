@@ -23,7 +23,7 @@
 #include <map>
 #include <vector>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/verify/fuzz/op_stream.h"
 #include "src/verify/fuzz/reference_vma.h"
 

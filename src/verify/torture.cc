@@ -9,7 +9,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/perfetto.h"
 #include "src/sim/rng.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/mmu/addr.h"
+#include "src/sim/addr.h"
 #include "src/sim/phys_addr.h"
 
 namespace ppcmm {

@@ -16,7 +16,7 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 #include "src/verify/torture.h"
 #include "src/workloads/kernel_compile.h"
 #include "src/workloads/lmbench.h"

@@ -8,7 +8,7 @@
 #include "src/kernel/layout.h"
 #include "src/sim/check.h"
 #include "src/verify/coherence_auditor.h"
-#include "src/verify/fault_injector.h"
+#include "src/sim/fault_injector.h"
 
 namespace ppcmm {
 namespace {

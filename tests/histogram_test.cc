@@ -5,7 +5,7 @@
 
 #include <cstdint>
 
-#include "src/obs/histogram.h"
+#include "src/sim/histogram.h"
 #include "src/obs/json.h"
 
 namespace ppcmm {
@@ -135,7 +135,7 @@ TEST(HistogramTest, JsonRoundTrips) {
   for (uint64_t v : {3u, 3u, 17u, 255u, 9000u}) {
     h.Record(v);
   }
-  const std::string text = h.ToJson().Serialize();
+  const std::string text = HistogramToJson(h).Serialize();
   std::string error;
   const auto parsed = JsonValue::Parse(text, &error);
   ASSERT_TRUE(parsed.has_value()) << error;

@@ -66,8 +66,8 @@ TEST_P(MachineSweep, KernelBootAndLifecycle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweep, ::testing::Range(0, 6),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return Machines()[info.param].name;
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return Machines()[param_info.param].name;
                          });
 
 TEST(MachineSweepRunnerTest, ParallelSweepMatchesSerialAcrossAllProfiles) {

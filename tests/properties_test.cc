@@ -77,7 +77,11 @@ void DriveWorkload(System& sys, uint64_t seed, int steps) {
   std::vector<std::pair<uint32_t, uint32_t>> live_maps;  // (start, pages)
 
   auto spawn = [&] {
-    const TaskId id = kernel.CreateTask("w" + std::to_string(tasks.size()));
+    // Built with += rather than operator+: GCC 12's -Wrestrict false-fires on the
+    // inlined "literal + to_string" concatenation under -O2.
+    std::string name = "w";
+    name += std::to_string(tasks.size());
+    const TaskId id = kernel.CreateTask(name);
     kernel.Exec(id, ExecImage{.text_pages = 8, .data_pages = 48, .stack_pages = 4});
     kernel.SwitchTo(id);
     tasks.push_back(id);

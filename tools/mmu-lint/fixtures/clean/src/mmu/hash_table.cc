@@ -1,0 +1,5 @@
+// Clean fixture: Search probes a fixed-size table.
+#include "src/mmu/hash_table.h"
+struct CleanHashTable {
+  unsigned Search(unsigned hash) const { return hash & 1023u; }
+};

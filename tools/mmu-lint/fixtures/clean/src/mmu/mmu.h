@@ -1,0 +1,3 @@
+// Clean fixture stub.
+#include "src/sim/types.h"
+struct CleanMmuH {};

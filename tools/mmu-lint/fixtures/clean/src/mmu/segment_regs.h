@@ -1,0 +1,2 @@
+// Clean fixture stub.
+struct CleanSegmentRegs {};

@@ -1,0 +1,8 @@
+// Clean fixture: the full pure-translation tier, virtual-free.
+#include "src/sim/types.h"
+struct CleanTlb {
+  const unsigned* LookupPtr(unsigned vp) const { return &entries_[vp & 63u]; }
+  void TouchLru(unsigned vp) { lru_ = vp; }
+  unsigned entries_[64] = {};
+  unsigned lru_ = 0;
+};

@@ -1,0 +1,19 @@
+// Clean fixture: publishes hw counters through the X-macro visitor and exactly the
+// gauges the rule table knows.
+#include <string>
+#include <utility>
+#include <vector>
+template <typename Counters>
+std::vector<std::pair<std::string, double>> CleanSnapshot(const Counters& hw) {
+  std::vector<std::pair<std::string, double>> out;
+  hw.ForEachField([&](const char* name, unsigned long value, bool) {
+    out.emplace_back(std::string("hw.") + name, static_cast<double>(value));
+  });
+  for (const char* gauge :
+       {"sys.htab_utilization", "sys.htab_valid", "sys.htab_live", "sys.htab_zombies",
+        "sys.htab_hit_rate", "sys.evict_to_reload_ratio", "sys.dtlb_miss_rate",
+        "sys.itlb_miss_rate", "sys.tlb_kernel_share"}) {
+    out.emplace_back(gauge, 0.0);
+  }
+  return out;
+}

@@ -1,0 +1,7 @@
+// Clean fixture: hot cache bodies index preallocated storage.
+#include "src/sim/types.h"
+struct CleanCache {
+  unsigned AccessLine(unsigned line) const { return lines_[line & 7u]; }
+  unsigned AccessUncached(unsigned line) const { return line; }
+  unsigned lines_[8] = {};
+};

@@ -1,0 +1,7 @@
+// Clean fixture: a well-formed X-macro field list.
+#define PPCMM_HW_COUNTER_FIELDS(X) \
+  X(cycles, "simulated cycles")    \
+  X(page_faults, "faults")
+
+#define PPCMM_HW_GAUGE_FIELDS(X) \
+  X(kernel_tlb_highwater, "max TLB entries holding kernel PTEs")

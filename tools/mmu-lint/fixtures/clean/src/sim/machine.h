@@ -1,0 +1,6 @@
+// Clean fixture: hot bodies with nothing to flag.
+#include "src/sim/cache.h"
+struct CleanMachine {
+  unsigned TouchData(unsigned ea) const { return ea + 1; }
+  unsigned TouchInstruction(unsigned ea) const { return ea + 2; }
+};

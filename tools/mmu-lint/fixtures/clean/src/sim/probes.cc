@@ -1,0 +1,4 @@
+// Clean fixture: probe names.
+const char* CleanProbeName(int probe) {
+  return probe == 0 ? "page_fault" : "cow_fault";
+}

@@ -1,0 +1,2 @@
+// Clean fixture: bottom of the DAG.
+struct CleanTypes {};

@@ -1,0 +1,2 @@
+// Clean fixture.
+#include "src/verify/fuzz/reference_mmu.h"

@@ -1,0 +1,3 @@
+// Clean fixture: an oracle root that sees only sim.
+#include "src/sim/types.h"
+struct Clean_referencetlb {};

@@ -1,0 +1,14 @@
+// Fixture: a registry that abandoned the X-macro visitor for a hand list (CNT-FOREACH-031)
+// and publishes a gauge the rule table does not know (CNT-SYS-034).
+#include <string>
+#include <utility>
+#include <vector>
+std::vector<std::pair<std::string, double>> FixtureSnapshot() {
+  return {
+      {"sys.htab_utilization", 0.0}, {"sys.htab_valid", 0.0},
+      {"sys.htab_live", 0.0},        {"sys.htab_zombies", 0.0},
+      {"sys.htab_hit_rate", 0.0},    {"sys.evict_to_reload_ratio", 0.0},
+      {"sys.dtlb_miss_rate", 0.0},   {"sys.itlb_miss_rate", 0.0},
+      {"sys.tlb_kernel_share", 0.0}, {"sys.extra_gauge", 0.0},
+  };
+}

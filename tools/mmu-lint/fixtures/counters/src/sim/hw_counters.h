@@ -1,0 +1,9 @@
+// Fixture twin of the real X-macro header, with a deliberately tiny field list: the
+// reference checks must treat THIS list as the source of truth, so real counter names
+// that are absent here (e.g. htab_hits) must be flagged.
+#define PPCMM_HW_COUNTER_FIELDS(X) \
+  X(cycles, "simulated cycles")    \
+  X(page_faults, "faults")
+
+#define PPCMM_HW_GAUGE_FIELDS(X) \
+  X(kernel_tlb_highwater, "max TLB entries holding kernel PTEs")

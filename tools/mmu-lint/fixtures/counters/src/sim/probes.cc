@@ -1,0 +1,10 @@
+// Fixture: the probe-name source of truth.
+const char* FixtureProbeName(int probe) {
+  switch (probe) {
+    case 0:
+      return "page_fault";
+    case 1:
+      return "cow_fault";
+  }
+  return "?";
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-order iteration over state declared in the header.
+#include "src/kernel/table.h"
+void FixtureTable::Drop() {
+  for (auto& [k, v] : live_) {  // line 4: DET-ITER-012
+    v = 0;
+  }
+}
+uint64_t FixtureTable::Sum() const {
+  uint64_t total = 0;
+  for (auto it = live_.begin(); it != live_.end(); ++it) {  // line 10: DET-ITER-012
+    total += it->second;
+  }
+  const auto hit = live_.find(0);  // membership lookups stay legal
+  return total + (hit != live_.end() ? 1 : 0);
+}

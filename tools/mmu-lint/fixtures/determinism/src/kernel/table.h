@@ -1,0 +1,9 @@
+// Fixture: the container is declared here but iterated in table.cc — the rule must see
+// across files.
+#include <cstdint>
+#include <unordered_map>
+struct FixtureTable {
+  void Drop();
+  uint64_t Sum() const;
+  std::unordered_map<uint32_t, uint32_t> live_;
+};

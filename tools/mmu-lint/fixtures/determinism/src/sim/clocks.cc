@@ -1,0 +1,10 @@
+// Fixture: host time and libc randomness leaking into simulated state.
+#include <chrono>
+#include <cstdlib>
+unsigned FixtureNow() {
+  auto t = std::chrono::steady_clock::now();  // line 5: DET-TIME-011
+  return static_cast<unsigned>(t.time_since_epoch().count()) + rand();  // line 6: DET-RAND-010
+}
+void FixtureSeed() {
+  srand(42);  // mmu-lint-allow(DET-RAND-010): fixture proves suppression works
+}

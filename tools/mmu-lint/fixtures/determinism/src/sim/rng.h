@@ -1,0 +1,5 @@
+// Fixture twin of the real src/sim/rng.h: the allowlisted file may name host PRNGs.
+#include <random>
+struct FixtureRng {
+  std::mt19937 engine;  // exempt: this IS the sanctioned randomness source
+};

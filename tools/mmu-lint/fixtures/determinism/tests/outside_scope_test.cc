@@ -1,0 +1,3 @@
+// Fixture: tests/ is outside the DET scope, so host randomness here is fine.
+#include <cstdlib>
+int FixtureShuffleSeed() { return rand(); }

@@ -1,0 +1,13 @@
+// Fixture: the pure-translation tier dispatching into the PTE tree; TouchLru is
+// deliberately missing so HOT-MISSING-025 proves the rule table cannot rot silently.
+struct FixtureTlb {
+  const unsigned* LookupPtr(unsigned vp) {
+    last_ = backing_->WalkPte(vp);  // line 5: HOT-VIRT-024
+    return &last_;
+  }
+  struct Backing {
+    virtual unsigned WalkPte(unsigned vp) = 0;
+  };
+  Backing* backing_ = nullptr;
+  unsigned last_ = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: a hot body that grows a vector.
+#include <vector>
+struct FixtureCache {
+  unsigned AccessLine(unsigned line) {
+    history_.push_back(line);  // line 5: HOT-ALLOC-020
+    return line;
+  }
+  unsigned AccessUncached(unsigned line) const { return line + history_.size(); }
+  std::vector<unsigned> history_;
+};

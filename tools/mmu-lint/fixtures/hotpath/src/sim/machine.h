@@ -1,0 +1,5 @@
+// Fixture: clean hot-path bodies — TouchData/TouchInstruction must produce nothing.
+struct FixtureMachine {
+  unsigned TouchData(unsigned ea) const { return ea + 1; }
+  unsigned TouchInstruction(unsigned ea) const { return ea + 2; }
+};

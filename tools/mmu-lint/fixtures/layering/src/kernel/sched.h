@@ -1,0 +1,3 @@
+// Fixture: kernel reaching up into observability.
+#include "src/obs/export.h"
+struct FixtureSched {};

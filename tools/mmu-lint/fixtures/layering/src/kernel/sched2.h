@@ -1,0 +1,4 @@
+// Fixture: the same upward include, suppressed.
+// mmu-lint-allow(LAYER-DAG-001): fixture proves suppressions silence a diagnostic
+#include "src/obs/export.h"
+struct FixtureSched2 {};

@@ -1,0 +1,3 @@
+// Fixture: a hot-obs closure root that also commits a peer-layer include.
+#include "src/pagetable/pte.h"
+struct FixtureTlb {};

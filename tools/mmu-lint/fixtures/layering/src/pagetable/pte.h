@@ -1,0 +1,2 @@
+// Fixture stub.
+struct FixturePte {};

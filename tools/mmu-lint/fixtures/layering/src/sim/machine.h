@@ -1,0 +1,3 @@
+// Fixture: a hot-path header whose closure reaches src/obs/ through one hop.
+#include "src/sim/trace2.h"
+struct FixtureMachine {};

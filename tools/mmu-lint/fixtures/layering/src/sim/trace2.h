@@ -1,0 +1,4 @@
+// Fixture: sim reaching up into observability — an upward DAG edge, and the edge that
+// poisons the machine.h hot-path closure.
+#include "src/obs/export.h"
+struct FixtureTrace2 {};

@@ -1,0 +1,2 @@
+// Fixture stub: the bottom of the DAG includes nothing.
+struct FixtureTypes {};

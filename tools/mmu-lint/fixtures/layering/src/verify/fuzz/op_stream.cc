@@ -1,0 +1,2 @@
+// Fixture stub.
+#include "src/verify/fuzz/op_stream.h"

@@ -1,0 +1,5 @@
+// Fixture: a helper the oracle pulls in. The include below is DOWNWARD in the layer DAG
+// (verify may see kernel), so LAYER-DAG-001 stays quiet — but it drags src/kernel/ into
+// the oracle's closure, which LAYER-ORACLE-002 must catch.
+#include "src/kernel/sched.h"
+struct FixtureRefUtil {};

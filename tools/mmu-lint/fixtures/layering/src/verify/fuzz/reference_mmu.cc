@@ -1,0 +1,2 @@
+// Fixture stub.
+#include "src/verify/fuzz/reference_mmu.h"

@@ -1,0 +1,3 @@
+// Fixture: an oracle root one hop away from the contamination.
+#include "src/verify/fuzz/ref_util.h"
+struct FixtureReferenceTlb {};

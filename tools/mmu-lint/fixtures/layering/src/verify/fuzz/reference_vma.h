@@ -1,0 +1,3 @@
+// Fixture stub: a closure-rule root with only legal includes.
+#include "src/sim/types.h"
+struct StubREFERENCE_VMA {};

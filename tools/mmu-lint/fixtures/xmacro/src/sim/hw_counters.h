@@ -1,0 +1,4 @@
+// Fixture: the X-macro lists exist but hold no fields — CNT-XMACRO-033 must refuse to
+// treat an empty list as a valid source of truth.
+#define PPCMM_HW_COUNTER_FIELDS(X)
+#define PPCMM_HW_GAUGE_FIELDS(X)

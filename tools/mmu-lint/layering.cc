@@ -1,0 +1,108 @@
+// LAYER-* checks: the include DAG, oracle independence, and hot-header hygiene.
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/mmu-lint/rules.h"
+
+namespace mmulint {
+namespace {
+
+// Layer a path belongs to, or nullptr for unlayered files (tests/, bench/, tools/, ...).
+const Layer* LayerOf(const std::string& path) {
+  for (const Layer& layer : Layers()) {
+    if (path.compare(0, layer.prefix.size(), layer.prefix) == 0) {
+      return &layer;
+    }
+  }
+  return nullptr;
+}
+
+void CheckDag(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out) {
+  if (!RuleEnabled(config, "LAYER-DAG-001")) {
+    return;
+  }
+  for (const auto& [path, sf] : tree.files) {
+    const Layer* self = LayerOf(path);
+    if (self == nullptr) {
+      continue;  // tests/bench/examples/tools may include anything
+    }
+    for (const Include& inc : sf.includes) {
+      const Layer* target = LayerOf(inc.target);
+      if (target == nullptr || target == self || target->rank < self->rank) {
+        continue;  // non-layered target, same layer, or a downward edge: all fine
+      }
+      const char* shape = target->rank == self->rank ? "its peer layer" : "the higher layer";
+      Emit(sf, inc.line, "LAYER-DAG-001",
+           "\"" + inc.target + "\" pulls " + shape + " " + target->prefix + " into " +
+               self->prefix + " (layer order: sim < mmu|pagetable < kernel < core < obs < "
+               "workloads < verify)",
+           "invert the dependency: move the shared type down into " +
+               (self->rank <= target->rank ? std::string("src/sim/") : self->prefix) +
+               " or route the call through an interface owned by the lower layer",
+           out);
+    }
+  }
+}
+
+// Breadth-first include closure from `root`, recording the first parent of each file so a
+// violation can show the chain that dragged the forbidden header in.
+void CheckClosure(const ClosureRule& rule, const Tree& tree, std::vector<Diagnostic>* out) {
+  for (const std::string& root : rule.roots) {
+    auto root_it = tree.files.find(root);
+    if (root_it == tree.files.end()) {
+      continue;  // reported separately by the driver as a config error
+    }
+    std::map<std::string, std::string> parent;  // file -> includer
+    std::deque<std::string> queue = {root};
+    std::set<std::string> seen = {root};
+    while (!queue.empty()) {
+      const std::string cur = queue.front();
+      queue.pop_front();
+      auto it = tree.files.find(cur);
+      if (it == tree.files.end()) {
+        continue;  // include of a file outside the scanned tree: nothing more to follow
+      }
+      for (const Include& inc : it->second.includes) {
+        for (const std::string& bad : rule.forbidden) {
+          if (inc.target.compare(0, bad.size(), bad) == 0) {
+            std::string chain = root;
+            // Reconstruct root -> ... -> cur for the message.
+            std::vector<std::string> hops;
+            for (std::string hop = cur; hop != root; hop = parent[hop]) {
+              hops.push_back(hop);
+            }
+            for (auto h = hops.rbegin(); h != hops.rend(); ++h) {
+              chain += " -> " + *h;
+            }
+            Emit(it->second, inc.line, rule.id,
+                 "\"" + inc.target + "\" puts " + bad + " in the include closure of " + root +
+                     " (via " + chain + "): " + rule.why,
+                 "depend on the src/sim/ abstraction instead, or move the shared type down",
+                 out);
+          }
+        }
+        if (seen.insert(inc.target).second) {
+          parent[inc.target] = cur;
+          queue.push_back(inc.target);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckLayering(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out) {
+  CheckDag(config, tree, out);
+  for (const ClosureRule& rule : ClosureRules()) {
+    if (RuleEnabled(config, rule.id)) {
+      CheckClosure(rule, tree, out);
+    }
+  }
+}
+
+}  // namespace mmulint

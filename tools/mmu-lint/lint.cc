@@ -1,0 +1,112 @@
+// Tree walking and rule-family dispatch.
+
+#include "tools/mmu-lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/mmu-lint/rules.h"
+#include "tools/mmu-lint/source.h"
+
+namespace mmulint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Source roots. tools/ is deliberately not scanned: the rule tables spell the banned
+// names, and the fixture corpus under tools/mmu-lint/fixtures must only be linted when a
+// test points --root at it directly.
+constexpr const char* kSourceDirs[] = {"src", "tests", "bench", "examples"};
+// Docs whose hw./sys./lat. references the counter rules validate. SNIPPETS.md is excluded
+// on purpose — it quotes third-party exemplar code verbatim.
+constexpr const char* kMarkdownFiles[] = {"EXPERIMENTS.md", "README.md", "DESIGN.md"};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+void LoadTree(const LintConfig& config, Tree* tree, LintResult* result) {
+  tree->root = config.root;
+  const fs::path root(config.root);
+  for (const char* dir : kSourceDirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      continue;  // fixture trees routinely have only some of the roots
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end; it.increment(ec)) {
+      if (ec) {
+        result->errors.push_back("walk failed under " + base.string() + ": " + ec.message());
+        break;
+      }
+      if (!it->is_regular_file() || !IsSourceFile(it->path())) {
+        continue;
+      }
+      const std::string rel = fs::relative(it->path(), root).generic_string();
+      SourceFile sf;
+      std::string error;
+      if (!LoadSource(it->path().string(), rel, &sf, &error)) {
+        result->errors.push_back(error);
+        continue;
+      }
+      tree->files.emplace(rel, std::move(sf));
+      ++result->files_scanned;
+    }
+  }
+  for (const char* name : kMarkdownFiles) {
+    const fs::path p = root / name;
+    std::error_code ec;
+    if (!fs::is_regular_file(p, ec)) {
+      continue;
+    }
+    SourceFile sf;
+    std::string error;
+    if (!LoadSource(p.string(), name, &sf, &error)) {
+      result->errors.push_back(error);
+      continue;
+    }
+    tree->markdown.emplace(name, std::move(sf));
+    ++result->files_scanned;
+  }
+}
+
+// The closure rules and hot-function table name specific files; if the real tree no longer
+// has them, the rule tables have rotted and the run must not quietly pass. Fixture trees
+// opt out by running with a --rules filter that skips the family.
+void CheckRuleTableRoots(const LintConfig& config, const Tree& tree, LintResult* result) {
+  for (const ClosureRule& rule : ClosureRules()) {
+    if (!RuleEnabled(config, rule.id)) {
+      continue;
+    }
+    for (const std::string& root : rule.roots) {
+      if (tree.files.find(root) == tree.files.end()) {
+        result->errors.push_back(rule.id + " root " + root +
+                                 " is missing from the tree: update ClosureRules() in "
+                                 "tools/mmu-lint/rules.cc");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintResult RunLint(const LintConfig& config) {
+  LintResult result;
+  Tree tree;
+  LoadTree(config, &tree, &result);
+  if (!result.errors.empty()) {
+    return result;
+  }
+  CheckRuleTableRoots(config, tree, &result);
+  CheckLayering(config, tree, &result.diagnostics);
+  CheckDeterminism(config, tree, &result.diagnostics);
+  CheckHotPaths(config, tree, &result.diagnostics);
+  CheckCounters(config, tree, &result.diagnostics);
+  std::sort(result.diagnostics.begin(), result.diagnostics.end());
+  return result;
+}
+
+}  // namespace mmulint

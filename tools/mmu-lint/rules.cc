@@ -1,0 +1,211 @@
+#include "tools/mmu-lint/rules.h"
+
+namespace mmulint {
+
+const std::vector<Layer>& Layers() {
+  static const std::vector<Layer> kLayers = {
+      {"src/sim/", 1},       // machine substrate: clocks, caches, counters, RNG
+      {"src/mmu/", 2},       // PowerPC translation hardware model
+      {"src/pagetable/", 2},  // Linux PTE tree (peer of mmu — neither may see the other)
+      {"src/kernel/", 3},    // software: tasks, VM, flush policy, page cache
+      {"src/core/", 4},      // composition root / facade (System wires everything below)
+      {"src/obs/", 5},       // observability: exporters may read core, never the reverse
+      {"src/workloads/", 6},  // benchmark drivers on top of the facade
+      {"src/verify/", 7},    // oracles and auditors see the whole stack; nothing sees them
+  };
+  return kLayers;
+}
+
+const std::vector<ClosureRule>& ClosureRules() {
+  static const std::vector<ClosureRule> kRules = {
+      {"LAYER-ORACLE-002",
+       {"src/verify/fuzz/reference_mmu.h", "src/verify/fuzz/reference_mmu.cc",
+        "src/verify/fuzz/reference_tlb.h", "src/verify/fuzz/reference_cache.h",
+        "src/verify/fuzz/reference_vma.h", "src/verify/fuzz/op_stream.h",
+        "src/verify/fuzz/op_stream.cc"},
+       {"src/mmu/", "src/kernel/", "src/pagetable/"},
+       "the differential-fuzz oracle must stay independent of the implementation it checks"},
+      {"LAYER-HOT-OBS-003",
+       {"src/sim/machine.h", "src/sim/cache.h", "src/sim/memory.h", "src/mmu/tlb.h",
+        "src/mmu/mmu.h", "src/mmu/hash_table.h", "src/mmu/bat.h", "src/mmu/segment_regs.h"},
+       {"src/obs/"},
+       "hot-path headers must not pull observability code into every translation unit"},
+  };
+  return kRules;
+}
+
+const std::vector<BannedIdent>& DeterminismBans() {
+  static const std::vector<BannedIdent> kBans = {
+      {"DET-RAND-010", "rand", "libc rand() is seeded per-process",
+       "draw from the owning component's ppcmm::Rng instead"},
+      {"DET-RAND-010", "srand", "libc PRNG seeding bypasses the simulator's seed plumbing",
+       "seed a ppcmm::Rng explicitly instead"},
+      {"DET-RAND-010", "random_device", "std::random_device is nondeterministic by design",
+       "derive a seed from the run's configured seed instead"},
+      {"DET-RAND-010", "mt19937", "host-library PRNGs are not part of simulated state",
+       "use ppcmm::Rng (src/sim/rng.h)"},
+      {"DET-RAND-010", "mt19937_64", "host-library PRNGs are not part of simulated state",
+       "use ppcmm::Rng (src/sim/rng.h)"},
+      {"DET-RAND-010", "default_random_engine", "engine choice varies across standard libraries",
+       "use ppcmm::Rng (src/sim/rng.h)"},
+      {"DET-RAND-010", "drand48", "libc PRNG state is process-global",
+       "use ppcmm::Rng (src/sim/rng.h)"},
+      {"DET-TIME-011", "system_clock", "wall-clock reads make runs unrepeatable",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+      {"DET-TIME-011", "steady_clock", "host time must not leak into simulated state",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+      {"DET-TIME-011", "high_resolution_clock", "host time must not leak into simulated state",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+      {"DET-TIME-011", "gettimeofday", "host time must not leak into simulated state",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+      {"DET-TIME-011", "clock_gettime", "host time must not leak into simulated state",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+      {"DET-TIME-011", "timespec_get", "host time must not leak into simulated state",
+       "use the simulated cycle counter (Machine::counters().cycles)"},
+  };
+  return kBans;
+}
+
+const std::vector<std::string>& DeterminismScope() {
+  static const std::vector<std::string> kScope = {"src/"};
+  return kScope;
+}
+
+const std::vector<std::string>& DeterminismAllowlist() {
+  static const std::vector<std::string> kAllow = {
+      "src/sim/rng.h",  // the one sanctioned randomness source (seeded, splittable)
+  };
+  return kAllow;
+}
+
+const std::vector<HotFunction>& HotFunctions() {
+  // banned_virtual lists the PteBackingSource entry points that may NOT be reached from the
+  // body. The pure-translation tier (TLB/cache lookups) must never touch the PTE tree; the
+  // reload tier (Mmu::Reload / SoftwareRefill) exists to walk it, and Mmu::Access's deferred
+  // C-bit path legitimately calls MarkPteDirty, so only WalkPte is banned there.
+  static const std::vector<HotFunction> kHot = {
+      {"src/sim/machine.h", "Machine", "TouchData", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/machine.h", "Machine", "TouchInstruction", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/cache.h", "Cache", "AccessLine", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/cache.h", "Cache", "AccessUncached", {"WalkPte", "MarkPteDirty"}},
+      {"src/mmu/tlb.h", "Tlb", "LookupPtr", {"WalkPte", "MarkPteDirty"}},
+      {"src/mmu/tlb.h", "Tlb", "TouchLru", {"WalkPte", "MarkPteDirty"}},
+      {"src/mmu/hash_table.cc", "HashTable", "Search", {"WalkPte", "MarkPteDirty"}},
+      {"src/mmu/mmu.cc", "Mmu", "Access", {"WalkPte"}},
+      {"src/mmu/mmu.cc", "Mmu", "Reload", {}},
+      {"src/mmu/mmu.cc", "Mmu", "SoftwareRefill", {}},
+      {"src/mmu/mmu.cc", "Mmu", "InstallTlbEntry", {"WalkPte", "MarkPteDirty"}},
+  };
+  return kHot;
+}
+
+const std::vector<BannedIdent>& HotPathBans() {
+  static const std::vector<BannedIdent> kBans = {
+      {"HOT-ALLOC-020", "new", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "malloc", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "calloc", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "realloc", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "make_unique", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "make_shared", "allocation on the translation fast path",
+       "preallocate in the owning component's constructor"},
+      {"HOT-ALLOC-020", "push_back", "possible reallocation on the translation fast path",
+       "size the container up front and index into it"},
+      {"HOT-ALLOC-020", "emplace_back", "possible reallocation on the translation fast path",
+       "size the container up front and index into it"},
+      {"HOT-THROW-021", "throw", "exceptions on the fast path defeat the three-load budget",
+       "report failure through the return value (std::optional / AccessResult)"},
+      {"HOT-LOCK-022", "mutex", "the simulator is single-threaded per Machine; locks here are a design error",
+       "keep Machine state thread-confined (SweepRunner gives each task its own System)"},
+      {"HOT-LOCK-022", "lock_guard", "the simulator is single-threaded per Machine; locks here are a design error",
+       "keep Machine state thread-confined"},
+      {"HOT-LOCK-022", "unique_lock", "the simulator is single-threaded per Machine; locks here are a design error",
+       "keep Machine state thread-confined"},
+      {"HOT-LOCK-022", "scoped_lock", "the simulator is single-threaded per Machine; locks here are a design error",
+       "keep Machine state thread-confined"},
+      {"HOT-IO-023", "cout", "stream I/O on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+      {"HOT-IO-023", "cerr", "stream I/O on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+      {"HOT-IO-023", "printf", "stream I/O on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+      {"HOT-IO-023", "fprintf", "stream I/O on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+      {"HOT-IO-023", "ostringstream", "string formatting on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+      {"HOT-IO-023", "stringstream", "string formatting on the fast path",
+       "record into HwCounters/LatencyProbes and export after the run"},
+  };
+  return kBans;
+}
+
+const std::vector<std::string>& SysGaugeNames() {
+  static const std::vector<std::string> kNames = {
+      "htab_utilization", "htab_valid",           "htab_live",
+      "htab_zombies",     "htab_hit_rate",        "evict_to_reload_ratio",
+      "dtlb_miss_rate",   "itlb_miss_rate",       "tlb_kernel_share",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& LatSpecialNames() {
+  static const std::vector<std::string> kNames = {
+      "lat.htab_hash_miss.total",
+      "lat.htab_hash_miss.max_per_pteg",
+      "lat.htab_hash_miss.ptegs_touched",
+  };
+  return kNames;
+}
+
+std::vector<std::pair<std::string, std::string>> ListRules() {
+  return {
+      {"LAYER-DAG-001", "includes must point down the layer DAG (sim < mmu|pagetable < kernel "
+                        "< core < obs < workloads < verify; peers never include peers)"},
+      {"LAYER-ORACLE-002", "fuzz-oracle include closure must not reach src/mmu/, src/kernel/, "
+                           "or src/pagetable/"},
+      {"LAYER-HOT-OBS-003", "hot-path header include closure must not reach src/obs/"},
+      {"DET-RAND-010", "no host PRNG in simulated state (use src/sim/rng.h)"},
+      {"DET-TIME-011", "no wall-clock reads in simulated state (use the cycle counter)"},
+      {"DET-ITER-012", "no iteration over unordered containers in simulated state"},
+      {"HOT-ALLOC-020", "no allocation in hot-path function bodies"},
+      {"HOT-THROW-021", "no throw in hot-path function bodies"},
+      {"HOT-LOCK-022", "no locks in hot-path function bodies"},
+      {"HOT-IO-023", "no stream I/O or string formatting in hot-path function bodies"},
+      {"HOT-VIRT-024", "no PTE-tree virtual dispatch from pure-translation-tier bodies"},
+      {"HOT-MISSING-025", "every registered hot function must still exist where the rule "
+                          "table says it does"},
+      {"CNT-REF-030", "every hw.<name> reference must name a real HwCounters X-macro field"},
+      {"CNT-FOREACH-031", "MetricsRegistry must publish hw counters via ForEachField, not a "
+                          "hand-maintained list"},
+      {"CNT-LAT-032", "every lat.<probe>.<stat> reference must name a real probe and stat"},
+      {"CNT-XMACRO-033", "the HwCounters X-macro lists must parse and be non-empty"},
+      {"CNT-SYS-034", "sys.<name> gauges in metrics.cc and the rule table must agree, and "
+                      "references must name one of them"},
+  };
+}
+
+bool RuleEnabled(const LintConfig& config, const std::string& rule_id) {
+  if (config.rule_prefixes.empty()) {
+    return true;
+  }
+  for (const std::string& p : config.rule_prefixes) {
+    if (rule_id.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Emit(const SourceFile& sf, uint32_t line, const std::string& rule, const std::string& message,
+          const std::string& fix, std::vector<Diagnostic>* out) {
+  if (sf.Suppressed(line, rule)) {
+    return;
+  }
+  out->push_back({sf.path, line, rule, message, fix});
+}
+
+}  // namespace mmulint

@@ -1,0 +1,111 @@
+// Declarative rule tables + per-family check entry points (internal to mmu-lint).
+//
+// Everything the checks enforce lives in the tables defined in rules.cc; the check
+// functions in layering.cc / determinism.cc / hotpath.cc / counters.cc are generic
+// interpreters over them. Adding a hot function, banning a new identifier, or renaming a
+// layer is a one-line table edit.
+
+#ifndef PPCMM_TOOLS_MMU_LINT_RULES_H_
+#define PPCMM_TOOLS_MMU_LINT_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/mmu-lint/lint.h"
+#include "tools/mmu-lint/source.h"
+
+namespace mmulint {
+
+// ---- Layering (LAYER-*) --------------------------------------------------------------
+
+struct Layer {
+  std::string prefix;  // path prefix, e.g. "src/mmu/"
+  int rank;            // a file may include same-directory peers or strictly lower ranks
+};
+
+// `src/sim` is the foundation; `mmu` and `pagetable` are rank-equal peers that must not
+// include each other; `core` is the composition root (facade) that may see everything
+// below it; `obs` reads core but never the reverse; `verify` sits on top so the oracle
+// and auditors can see the whole stack while nothing depends on them.
+const std::vector<Layer>& Layers();
+
+struct ClosureRule {
+  std::string id;
+  std::vector<std::string> roots;      // files whose include closure is checked
+  std::vector<std::string> forbidden;  // path prefixes that must not appear in the closure
+  std::string why;                     // appended to the diagnostic
+};
+
+// LAYER-ORACLE-002 (fuzz oracle independence) and LAYER-HOT-OBS-003 (hot headers vs obs).
+const std::vector<ClosureRule>& ClosureRules();
+
+// ---- Determinism (DET-*) -------------------------------------------------------------
+
+struct BannedIdent {
+  std::string id;     // rule that fires
+  std::string ident;  // identifier to flag
+  std::string why;
+  std::string fix;
+};
+
+const std::vector<BannedIdent>& DeterminismBans();
+
+// Files under these prefixes feed simulated state and are in scope for DET-* rules.
+const std::vector<std::string>& DeterminismScope();
+// Exact paths exempt from DET-* (the one sanctioned randomness source).
+const std::vector<std::string>& DeterminismAllowlist();
+
+// ---- Hot-path purity (HOT-*) ---------------------------------------------------------
+
+struct HotFunction {
+  std::string file;       // root-relative path holding the definition
+  std::string qualifier;  // class name for the message, e.g. "Tlb"
+  std::string name;       // unqualified function name to locate, e.g. "LookupPtr"
+  // Extra identifiers banned in THIS body beyond the global hot-path bans — the
+  // PTE-tree virtual entry points, banned only where the function is in the
+  // pure-translation tier (reload tiers legitimately walk the tree).
+  std::vector<std::string> banned_virtual;
+};
+
+const std::vector<HotFunction>& HotFunctions();
+
+// Globally banned inside every hot function body, with the rule that fires.
+const std::vector<BannedIdent>& HotPathBans();
+
+// ---- Counter consistency (CNT-*) -----------------------------------------------------
+
+struct CounterPaths {
+  std::string hw_counters_h = "src/sim/hw_counters.h";
+  std::string metrics_cc = "src/obs/metrics.cc";
+  std::string probes_cc = "src/sim/probes.cc";
+};
+
+// Dotted sys.* gauge names MetricsRegistry publishes, kept here so docs/tests referencing
+// them are checkable. Must match the Set() calls in metrics.cc (CNT-SYS-034 verifies).
+const std::vector<std::string>& SysGaugeNames();
+
+// lat.* suffixes beyond the per-probe {count,p50,p95,max,mean} family.
+const std::vector<std::string>& LatSpecialNames();
+
+// ---- Check entry points (each appends to *out) ---------------------------------------
+
+// Shared scan state handed to every family.
+struct Tree {
+  std::string root;
+  std::map<std::string, SourceFile> files;     // rel path -> parsed file (sources only)
+  std::map<std::string, SourceFile> markdown;  // scanned .md files (counter rules only)
+};
+
+void CheckLayering(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+void CheckDeterminism(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+void CheckHotPaths(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+void CheckCounters(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+
+// Helper shared by checks: appends a diagnostic unless suppressed in `sf`.
+void Emit(const SourceFile& sf, uint32_t line, const std::string& rule, const std::string& message,
+          const std::string& fix, std::vector<Diagnostic>* out);
+
+}  // namespace mmulint
+
+#endif  // PPCMM_TOOLS_MMU_LINT_RULES_H_
