@@ -100,6 +100,8 @@ int Main() {
   const uint32_t units = quick ? 2 : 48;
   const int reps = quick ? 1 : 5;
   BenchReport::Global().SetName("host_throughput");
+  BenchReport::Global().SetMeta("workload", "kernel compile");
+  BenchReport::Global().SetMeta("strategies", "604 hw-walk, 603 sw-htab, 603 direct");
 
   Headline("Host throughput: simulator speed per reload strategy (kernel compile)");
   std::printf("workload: kernel compile, %u units, best of %d host-timed runs%s\n\n", units,

@@ -36,6 +36,12 @@ fi
 
 mkdir -p "$out_dir"
 export PPCMM_BENCH_OUT="$out_dir"
+# Stamp every report with the commit it came from (BenchReport meta.git_sha), so
+# tools/bench-trend can tie trajectory entries back to history.
+if [ -z "${PPCMM_GIT_SHA:-}" ]; then
+  PPCMM_GIT_SHA=$(git -C "$repo_root" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+  export PPCMM_GIT_SHA
+fi
 
 if [ "$lint" = 1 ]; then
   lint_bin="$build_dir/tools/mmu-lint/mmu-lint"

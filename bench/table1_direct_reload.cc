@@ -42,6 +42,8 @@ int Main() {
   };
 
   Headline("Table 1: LmBench summary for direct (bypassing hash table) TLB reloads");
+  BenchReport::Global().SetMeta("table", "1");
+  BenchReport::Global().SetMeta("machines", "603-180 htab, 603-180 no-htab, 604-185, 604-200");
   TextTable table({"metric", "603-180 htab", "603-180 no-htab", "604-185", "604-200"});
 
   std::vector<LmBenchResult> results;

@@ -46,6 +46,9 @@ int Main() {
   params.mmap_iters = 8;
 
   Headline("Table 2: LmBench summary for tunable TLB range flushing");
+  BenchReport::Global().SetMeta("table", "2");
+  BenchReport::Global().SetMeta("machines", "603-133, 603-133 lazy, 604-185, 604-185 tune");
+  BenchReport::Global().SetMeta("workload", "lat_mmap 1024 pages x 8 iters");
   TextTable table({"metric", "603-133", "603-133 lazy", "604-185", "604-185 tune"});
   std::vector<LmBenchResult> results;
   for (const Column& column : columns) {

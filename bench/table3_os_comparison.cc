@@ -21,6 +21,8 @@ struct PaperRow {
 
 int Main() {
   Headline("Table 3: LmBench summary for Linux/PPC and other Operating Systems (133MHz 604)");
+  BenchReport::Global().SetMeta("table", "3");
+  BenchReport::Global().SetMeta("machine", "604-133");
 
   const std::vector<Table3Row> rows = RunTable3(MachineConfig::Ppc604(133));
   TextTable table({"OS", "null syscall", "ctx switch", "pipe lat.", "pipe bw"});

@@ -2,7 +2,10 @@
 
 namespace ppcmm {
 
-void FlushEngine::FlushPage(Mm& mm, EffAddr ea) { EagerFlushPage(mm, ea); }
+void FlushEngine::FlushPage(Mm& mm, EffAddr ea) {
+  CycleScope flush_scope(mmu_.machine(), AttrCause::kRangeFlushEager);
+  EagerFlushPage(mm, ea);
+}
 
 void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
                              bool mm_is_current) {
@@ -12,6 +15,7 @@ void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
       page_count > config_.range_flush_cutoff) {
     // §7: "invalidating the whole memory management context of any process needing to
     // invalidate more than a small set of pages" — the 80× mmap() win.
+    CycleScope flush_scope(machine, AttrCause::kContextFlushLazy);
     LazyFlushContext(mm, mm_is_current);
     machine.RecordLatency(LatencyProbe::kContextFlushLazy, flush_start);
     return;
@@ -19,6 +23,7 @@ void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
   // Eager path: "the kernel was clearing the range of addresses by searching the hash table
   // for each PTE in turn" (§7) — every page in the range pays the two-PTEG search, whether
   // or not a translation is actually cached.
+  CycleScope flush_scope(machine, AttrCause::kRangeFlushEager);
   for (uint32_t i = 0; i < page_count; ++i) {
     EagerFlushPage(mm, EffAddr::FromPage(start_page + i));
   }
@@ -27,10 +32,12 @@ void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
 
 void FlushEngine::FlushContext(Mm& mm, bool mm_is_current) {
   if (config_.lazy_context_flush) {
+    CycleScope flush_scope(mmu_.machine(), AttrCause::kContextFlushLazy);
     LazyFlushContext(mm, mm_is_current);
     return;
   }
   // Eager: flush every present page individually — the cost the lazy scheme eliminates.
+  CycleScope flush_scope(mmu_.machine(), AttrCause::kRangeFlushEager);
   mm.page_table->ForEachPresent([&](EffAddr ea, const LinuxPte&) { EagerFlushPage(mm, ea); });
 }
 

@@ -92,6 +92,7 @@ void Kernel::HandleVsidRollover() {
   // The 24-bit VSID space wrapped: VSIDs about to be issued may still sit — live or zombie —
   // in the TLB, the HTAB, and the segment registers. Make the whole previous epoch
   // unreachable, then move every live context into the new epoch.
+  CycleScope rollover_scope(machine_, AttrCause::kVsidRollover);
   ++machine_.counters().vsid_epoch_rollovers;
   machine_.Trace(TraceEvent::kVsidEpochRollover,
                  static_cast<uint32_t>(machine_.counters().vsid_epoch_rollovers));
@@ -221,52 +222,59 @@ Task& Kernel::CurrentTask() {
 void Kernel::SwitchTo(TaskId id) {
   Task& next = task(id);
   PPCMM_CHECK_MSG(next.state != TaskState::kZombie, "switching to a zombie task");
-  HwCounters& counters = machine_.counters();
-  ++counters.context_switches;
-  machine_.Trace(TraceEvent::kContextSwitch, current_.value, id.value);
+  TaskId previous{};
+  {
+    // The attribution scope must close before switch_hook_ runs: a cooperative harness may
+    // park this call stack there, and the ledger's scope stack is shared across fibers.
+    CycleScope switch_scope(machine_, AttrCause::kContextSwitch);
+    HwCounters& counters = machine_.counters();
+    ++counters.context_switches;
+    machine_.Trace(TraceEvent::kContextSwitch, current_.value, id.value);
 
-  ChargeKernelWork(KernelOp::kContextSwitch);
-  machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.ctxsw_body_opt
-                                                       : costs_.ctxsw_body_unopt));
+    ChargeKernelWork(KernelOp::kContextSwitch);
+    machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.ctxsw_body_opt
+                                                         : costs_.ctxsw_body_unopt));
 
-  if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kZombieFlood)) {
-    InjectZombieFlood();
-  }
-
-  // §10.2 extension: prefetch the incoming task's state so the restore loads below hit.
-  if (config_.cache_preload_hints) {
-    for (uint32_t line = 0; line < 8; ++line) {
-      machine_.PrefetchData(next.task_struct_pa + line * 64);
+    if (injector_ != nullptr && injector_->ShouldFire(FaultClass::kZombieFlood)) {
+      InjectZombieFlood();
     }
-  }
 
-  // Save the outgoing register state, restore the incoming — real stores/loads against the
-  // task structures. The unoptimized path saves everything; the optimized path is lean.
-  const uint32_t regs = config_.optimized_handlers ? 12 : 32;
-  if (current_.value != 0 && tasks_.contains(current_.value)) {
-    Task& prev = task(current_);
+    // §10.2 extension: prefetch the incoming task's state so the restore loads below hit.
+    if (config_.cache_preload_hints) {
+      for (uint32_t line = 0; line < 8; ++line) {
+        machine_.PrefetchData(next.task_struct_pa + line * 64);
+      }
+    }
+
+    // Save the outgoing register state, restore the incoming — real stores/loads against the
+    // task structures. The unoptimized path saves everything; the optimized path is lean.
+    const uint32_t regs = config_.optimized_handlers ? 12 : 32;
+    if (current_.value != 0 && tasks_.contains(current_.value)) {
+      Task& prev = task(current_);
+      for (uint32_t r = 0; r < regs; ++r) {
+        KernelTouch(KernelVirtFromPhys(prev.task_struct_pa + (r % 8) * 64), AccessKind::kStore);
+      }
+      if (prev.state == TaskState::kRunning) {
+        prev.state = TaskState::kRunnable;
+        scheduler_.MakeRunnable(prev.id);
+      }
+    }
     for (uint32_t r = 0; r < regs; ++r) {
-      KernelTouch(KernelVirtFromPhys(prev.task_struct_pa + (r % 8) * 64), AccessKind::kStore);
+      KernelTouch(KernelVirtFromPhys(next.task_struct_pa + (r % 8) * 64), AccessKind::kLoad);
     }
-    if (prev.state == TaskState::kRunning) {
-      prev.state = TaskState::kRunnable;
-      scheduler_.MakeRunnable(prev.id);
-    }
-  }
-  for (uint32_t r = 0; r < regs; ++r) {
-    KernelTouch(KernelVirtFromPhys(next.task_struct_pa + (r % 8) * 64), AccessKind::kLoad);
-  }
 
-  // Reload the user segment registers from the incoming task's VSIDs.
-  machine_.AddCycles(Cycles(kFirstKernelSegment * 2));
-  mmu_->segments().LoadUserSegments(vsids_.SegmentImage(next.mm->context));
+    // Reload the user segment registers from the incoming task's VSIDs.
+    machine_.AddCycles(Cycles(kFirstKernelSegment * 2));
+    mmu_->segments().LoadUserSegments(vsids_.SegmentImage(next.mm->context));
 
-  scheduler_.Remove(id);  // the running task is not queued
-  next.state = TaskState::kRunning;
-  ++next.obs.switches_in;
-  const TaskId previous = current_;
-  current_ = id;
-  machine_.trace().SetCurrentTask(id.value);
+    scheduler_.Remove(id);  // the running task is not queued
+    next.state = TaskState::kRunning;
+    ++next.obs.switches_in;
+    previous = current_;
+    current_ = id;
+    machine_.trace().SetCurrentTask(id.value);
+    machine_.attr().SetCurrentTask(id.value);
+  }
   if (tick_hook_) {
     tick_hook_();
   }
@@ -278,6 +286,7 @@ void Kernel::SwitchTo(TaskId id) {
 
 TaskId Kernel::Fork(TaskId parent_id) {
   Task& parent = task(parent_id);
+  CycleScope fork_scope(machine_, AttrCause::kFork);
   ChargeKernelWork(KernelOp::kFork);
   machine_.AddCycles(Cycles(costs_.fork_body));
 
@@ -355,6 +364,7 @@ TaskId Kernel::Fork(TaskId parent_id) {
 
 void Kernel::Exec(TaskId id, const ExecImage& image) {
   Task& target = task(id);
+  CycleScope exec_scope(machine_, AttrCause::kExec);
   ChargeKernelWork(KernelOp::kExec);
   machine_.AddCycles(Cycles(costs_.exec_body));
 
@@ -397,6 +407,7 @@ void Kernel::Exec(TaskId id, const ExecImage& image) {
 void Kernel::Exit(TaskId id) {
   Task& target = task(id);
   Mm& mm = *target.mm;
+  CycleScope exit_scope(machine_, AttrCause::kExit);
 
   machine_.AddCycles(Cycles(300));
   // Eager kernels must scrub the HTAB/TLB entry by entry; lazy kernels just retire the
@@ -420,6 +431,7 @@ void Kernel::Exit(TaskId id) {
   if (current_ == id) {
     current_ = TaskId{0};
     machine_.trace().SetCurrentTask(0);
+    machine_.attr().SetCurrentTask(0);
   }
   scheduler_.Remove(id);
   for (auto& [pipe_id, pipe] : pipes_) {
@@ -432,6 +444,7 @@ void Kernel::Exit(TaskId id) {
 // ---- syscalls ----
 
 void Kernel::NullSyscall() {
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   machine_.Trace(TraceEvent::kSyscall, 0);
   ChargeKernelWork(KernelOp::kSyscallEntry);
@@ -443,6 +456,7 @@ uint32_t Kernel::Mmap(uint32_t page_count, const MmapOptions& options) {
   PPCMM_CHECK(page_count > 0);
   Task& current = CurrentTask();
   Mm& mm = *current.mm;
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kMmapCall);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -475,6 +489,7 @@ uint32_t Kernel::Mmap(uint32_t page_count, const MmapOptions& options) {
 void Kernel::Munmap(uint32_t start_page, uint32_t page_count) {
   Task& current = CurrentTask();
   Mm& mm = *current.mm;
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kMmapCall);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -488,6 +503,7 @@ void Kernel::Munmap(uint32_t start_page, uint32_t page_count) {
 uint32_t Kernel::MapFramebuffer() {
   Task& current = CurrentTask();
   Mm& mm = *current.mm;
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kMmapCall);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -613,6 +629,7 @@ void Kernel::ReleaseRange(Mm& mm, uint32_t start_page, uint32_t page_count) {
 }
 
 void Kernel::FileRead(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_dst) {
+  CycleScope io_scope(machine_, AttrCause::kFileIo);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kFileIo);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -634,6 +651,7 @@ void Kernel::FileRead(FileId file, uint32_t offset_bytes, uint32_t length, EffAd
 }
 
 void Kernel::FileWrite(FileId file, uint32_t offset_bytes, uint32_t length, EffAddr user_src) {
+  CycleScope io_scope(machine_, AttrCause::kFileIo);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kFileIo);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -656,6 +674,7 @@ void Kernel::FileWrite(FileId file, uint32_t offset_bytes, uint32_t length, EffA
 
 uint32_t Kernel::ShmCreate(uint32_t pages) {
   PPCMM_CHECK(pages > 0);
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kMmapCall);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -684,6 +703,7 @@ uint32_t Kernel::ShmAttach(uint32_t shm_id) {
   PPCMM_CHECK_MSG(it != shm_segments_.end(), "attach to unknown shm segment " << shm_id);
   Task& current = CurrentTask();
   Mm& mm = *current.mm;
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kMmapCall);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -734,6 +754,7 @@ uint32_t Kernel::PipeWrite(uint32_t pipe_id, EffAddr user_src, uint32_t length) 
   auto it = pipes_.find(pipe_id);
   PPCMM_CHECK_MSG(it != pipes_.end(), "write to unknown pipe " << pipe_id);
   PipeState& pipe = it->second;
+  CycleScope pipe_scope(machine_, AttrCause::kPipe);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kPipe);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -758,6 +779,7 @@ uint32_t Kernel::PipeRead(uint32_t pipe_id, EffAddr user_dst, uint32_t length) {
   auto it = pipes_.find(pipe_id);
   PPCMM_CHECK_MSG(it != pipes_.end(), "read from unknown pipe " << pipe_id);
   PipeState& pipe = it->second;
+  CycleScope pipe_scope(machine_, AttrCause::kPipe);
   ++machine_.counters().syscalls;
   ChargeKernelWork(KernelOp::kPipe);
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.syscall_body_opt
@@ -900,6 +922,7 @@ void Kernel::UserExecute(uint32_t instructions) {
 // ---- idle ----
 
 void Kernel::RunIdle(Cycles budget) {
+  CycleScope idle_scope(machine_, AttrCause::kIdleLoop);
   HwCounters& counters = machine_.counters();
   ++counters.idle_invocations;
   machine_.Trace(TraceEvent::kIdleSlice, static_cast<uint32_t>(budget.value));
@@ -922,6 +945,7 @@ void Kernel::RunIdle(Cycles budget) {
 
     bool worked = false;
     if (config_.idle_zombie_reclaim && mmu_->policy().UsesHtab()) {
+      CycleScope reclaim_scope(machine_, AttrCause::kIdleReclaim);
       const Cycles pass_start = machine_.Now();
       const uint32_t reclaimed =
           mmu_->htab().ReclaimZombies(config_.idle_reclaim_ptegs_per_pass, vsids_, pt_charger);
@@ -933,6 +957,7 @@ void Kernel::RunIdle(Cycles budget) {
       worked = true;  // the scan itself consumed cycles
     }
     if (config_.idle_zero != IdleZeroPolicy::kOff) {
+      CycleScope zero_scope(machine_, AttrCause::kIdleZero);
       worked = mem_.IdleZeroOnePage() || worked;
     }
     if (!worked) {
@@ -944,6 +969,22 @@ void Kernel::RunIdle(Cycles budget) {
 // ---- faults ----
 
 void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
+  Mm& mm = *task.mm;
+  const uint32_t page = ea.EffPageNumber();
+  // The VMA lookup is uncharged and side-effect free, so it can run early to classify the
+  // fault for attribution; the handler's simulated costs all land inside the scope.
+  const std::optional<Vma> vma = mm.vmas.Find(page);
+  AttrCause fault_cause = AttrCause::kFaultAnon;
+  if (vma.has_value()) {
+    switch (vma->backing) {
+      case VmaBacking::kAnonymous: fault_cause = AttrCause::kFaultAnon; break;
+      case VmaBacking::kFile: fault_cause = AttrCause::kFaultFile; break;
+      case VmaBacking::kShm: fault_cause = AttrCause::kFaultShm; break;
+      case VmaBacking::kIo: fault_cause = AttrCause::kFaultIo; break;
+    }
+  }
+  CycleScope fault_scope(machine_, fault_cause);
+
   HwCounters& counters = machine_.counters();
   ++counters.page_faults;
   ++task.obs.page_faults;
@@ -952,9 +993,6 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
   machine_.AddCycles(Cycles(config_.optimized_handlers ? costs_.fault_body_opt
                                                        : costs_.fault_body_unopt));
 
-  Mm& mm = *task.mm;
-  const uint32_t page = ea.EffPageNumber();
-  const std::optional<Vma> vma = mm.vmas.Find(page);
   PPCMM_CHECK_MSG(vma.has_value(), "page fault outside any VMA at 0x" << std::hex << ea.value
                                                                       << " (task " << std::dec
                                                                       << task.id.value << ")");
@@ -1034,6 +1072,7 @@ void Kernel::HandlePageFault(Task& task, EffAddr ea, AccessKind kind) {
 }
 
 void Kernel::HandleCowFault(Task& task, EffAddr ea) {
+  CycleScope cow_scope(machine_, AttrCause::kCowFault);
   HwCounters& counters = machine_.counters();
   ++counters.page_faults;
   ++task.obs.cow_faults;
@@ -1059,10 +1098,14 @@ void Kernel::HandleCowFault(Task& task, EffAddr ea) {
         &charger);
   } else {
     const uint32_t frame = mem_.GetFreePage();
-    for (uint32_t offset = 0; offset < kPageSize; offset += machine_.config().dcache.line_bytes) {
-      machine_.TouchData(PhysAddr::FromFrame(pte->frame, offset), /*is_write=*/false);
-      machine_.TouchData(PhysAddr::FromFrame(frame, offset), /*is_write=*/true);
-      machine_.AddCycles(Cycles(costs_.copy_cycles_per_line));
+    {
+      CycleScope copy_scope(machine_, AttrCause::kCowCopy);
+      for (uint32_t offset = 0; offset < kPageSize;
+           offset += machine_.config().dcache.line_bytes) {
+        machine_.TouchData(PhysAddr::FromFrame(pte->frame, offset), /*is_write=*/false);
+        machine_.TouchData(PhysAddr::FromFrame(frame, offset), /*is_write=*/true);
+        machine_.AddCycles(Cycles(costs_.copy_cycles_per_line));
+      }
     }
     machine_.memory().Copy(PhysAddr::FromFrame(frame), PhysAddr::FromFrame(pte->frame),
                            kPageSize);

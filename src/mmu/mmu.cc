@@ -28,6 +28,19 @@ bool FastPathEnvDefault() {
   return !(value == "0" || value == "off");
 }
 
+// The attribution cause for a TLB reload: which TLB missed × which strategy serves it.
+AttrCause ReloadCause(ReloadStrategy strategy, bool is_ifetch) {
+  switch (strategy) {
+    case ReloadStrategy::kHardwareHtabWalk:
+      return is_ifetch ? AttrCause::kItlbReloadHw : AttrCause::kDtlbReloadHw;
+    case ReloadStrategy::kSoftwareHtab:
+      return is_ifetch ? AttrCause::kItlbReloadSwHtab : AttrCause::kDtlbReloadSwHtab;
+    case ReloadStrategy::kSoftwareDirect:
+      return is_ifetch ? AttrCause::kItlbReloadSwDirect : AttrCause::kDtlbReloadSwDirect;
+  }
+  return AttrCause::kInstruction;
+}
+
 }  // namespace
 
 bool Mmu::FastPathDefault() {
@@ -181,6 +194,7 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   // change in the HTAB entry and the Linux PTE before the store can proceed (§7's reason to
   // mark dirty at reload instead).
   if (is_write && !entry->changed && !policy_.eager_dirty_marking) {
+    CycleScope dirty_scope(machine_, AttrCause::kDirtyBitUpdate);
     ++counters.dirty_bit_updates;
     machine_.Trace(TraceEvent::kDirtyBitUpdate, ea.EffPageNumber());
     DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
@@ -242,13 +256,26 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
   const MachineConfig& config = machine_.config();
   DataMemCharger pt_charger(machine_, policy_.cache_page_tables);
   const Cycles reload_start = machine_.Now();
+  CycleScope reload_scope(machine_, ReloadCause(policy_.strategy, IsInstruction(kind)));
+  // An HTAB search under the reload scope, reclassified on return into the depth bucket the
+  // probe actually reached: primary-PTEG-only, spilled into the secondary, or a full miss.
+  const auto attributed_search = [&](VirtPage page) {
+    CycleScope search_scope(machine_, AttrCause::kHashSearchPrimary);
+    const HtabSearchResult found = htab_.Search(page, pt_charger);
+    if (!found.found) {
+      search_scope.Rebind(AttrCause::kHashSearchMiss);
+    } else if (found.memory_refs > kPtesPerPteg) {
+      search_scope.Rebind(AttrCause::kHashSearchSecondary);
+    }
+    return found;
+  };
 
   switch (policy_.strategy) {
     case ReloadStrategy::kHardwareHtabWalk: {
       // The 604 walks the HTAB in hardware: fixed walk overhead plus the charged probes.
       machine_.AddCycles(Cycles(config.hw_walk_base_cycles));
       ++counters.htab_searches;
-      const HtabSearchResult found = htab_.Search(vp, pt_charger);
+      const HtabSearchResult found = attributed_search(vp);
       if (found.found) {
         ++counters.htab_hits;
         const PteWalkInfo info{.frame = found.pte.rpn,
@@ -270,7 +297,7 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
         machine_.AddCycles(Cycles(config.hw_walk_base_cycles));
         ++counters.htab_searches;
         ++counters.htab_hits;
-        const HtabSearchResult refound = htab_.Search(vp, pt_charger);
+        const HtabSearchResult refound = attributed_search(vp);
         PPCMM_CHECK_MSG(refound.found, "freshly inserted HTAB entry must be found on retry");
         InstallTlbEntry(ea, vp, *info, kind);
         machine_.RecordLatency(LatencyProbe::kTlbReloadHardware, reload_start);
@@ -283,7 +310,7 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
       machine_.AddCycles(Cycles(config.tlb_miss_interrupt_cycles));
       machine_.AddCycles(Cycles(policy_.HandlerBodyCycles()));
       ++counters.htab_searches;
-      const HtabSearchResult found = htab_.Search(vp, pt_charger);
+      const HtabSearchResult found = attributed_search(vp);
       if (found.found) {
         ++counters.htab_hits;
         const PteWalkInfo info{.frame = found.pte.rpn,

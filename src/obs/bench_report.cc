@@ -28,6 +28,16 @@ void BenchReport::AddComparison(const std::string& metric, double paper, double 
       .name = metric, .value = measured, .unit = unit, .has_paper = true, .paper = paper});
 }
 
+void BenchReport::SetMeta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 void BenchReport::AddCounters(const std::string& prefix, const HwCounters& counters) {
   counters.ForEachField([&](const char* name, uint64_t value, bool /*is_gauge*/) {
     Add(prefix + "." + name, static_cast<double>(value));
@@ -36,7 +46,20 @@ void BenchReport::AddCounters(const std::string& prefix, const HwCounters& count
 
 JsonValue BenchReport::ToJson() const {
   JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", kSchemaVersion);
   doc.Set("bench", name_);
+  // Environment-derived defaults first, then explicit SetMeta entries (which overwrite):
+  // every report self-describes the commit and run mode it came from, so cross-run trend
+  // comparison never has to guess from file paths.
+  JsonValue meta = JsonValue::Object();
+  const char* sha = std::getenv("PPCMM_GIT_SHA");
+  meta.Set("git_sha", sha != nullptr ? sha : "unknown");
+  const char* quick = std::getenv("PPCMM_QUICK");
+  meta.Set("mode", (quick != nullptr && quick[0] == '1') ? "quick" : "full");
+  for (const auto& [key, value] : meta_) {
+    meta.Set(key, value);
+  }
+  doc.Set("meta", std::move(meta));
   JsonValue sections = JsonValue::Array();
   for (const Section& section : sections_) {
     JsonValue s = JsonValue::Object();

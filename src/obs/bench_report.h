@@ -22,9 +22,17 @@ namespace ppcmm {
 // One bench run's metrics, grouped into titled sections.
 class BenchReport {
  public:
+  // Bumped whenever the JSON shape changes; tools/bench-trend keys on it.
+  static constexpr int kSchemaVersion = 2;
+
   // The report (and output file) name; defaults to the executable's basename.
   void SetName(std::string name) { name_ = std::move(name); }
   const std::string& name() const { return name_; }
+
+  // Self-describing run metadata ("machine", "strategy", "preset", ...). Serialized into
+  // the "meta" object; later sets of the same key overwrite. git_sha and mode (quick/full)
+  // are filled from $PPCMM_GIT_SHA / $PPCMM_QUICK automatically unless set explicitly.
+  void SetMeta(const std::string& key, const std::string& value);
 
   // Starts a new section; subsequent Add* calls land in it. Called by Headline().
   void BeginSection(const std::string& title);
@@ -39,7 +47,8 @@ class BenchReport {
 
   bool Empty() const { return sections_.empty(); }
 
-  // {"bench":name,"sections":[{"title":...,"metrics":[{"name","value","unit",("paper")}]}]}
+  // {"schema_version":2,"bench":name,"meta":{"git_sha":...,"mode":...,...},
+  //  "sections":[{"title":...,"metrics":[{"name","value","unit",("paper")}]}]}
   JsonValue ToJson() const;
 
   // Serializes to `<dir>/BENCH_<name>.json`. Returns false (and stays quiet) on I/O error.
@@ -65,6 +74,7 @@ class BenchReport {
   Section& CurrentSection();
 
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // insertion-ordered
   std::vector<Section> sections_;
 };
 

@@ -15,6 +15,7 @@ Machine::Machine(const MachineConfig& config)
   // so ad-hoc runs produce exportable data without per-binary plumbing.
   trace_.Enable();
   probes_.SetEnabled(true);
+  attr_.SetEnabled(true);
 #endif
 }
 

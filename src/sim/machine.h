@@ -7,6 +7,7 @@
 #ifndef PPCMM_SRC_SIM_MACHINE_H_
 #define PPCMM_SRC_SIM_MACHINE_H_
 
+#include "src/sim/attr.h"
 #include "src/sim/probes.h"
 #include "src/sim/cache.h"
 #include "src/sim/cycle_types.h"
@@ -40,6 +41,8 @@ class Machine {
   TraceBuffer& trace() { return trace_; }
   LatencyProbes& probes() { return probes_; }
   const LatencyProbes& probes() const { return probes_; }
+  CycleLedger& attr() { return attr_; }
+  const CycleLedger& attr() const { return attr_; }
 
   // Records an event at the current cycle (no-op unless tracing is enabled).
   void Trace(TraceEvent event, uint32_t a = 0, uint32_t b = 0) {
@@ -53,7 +56,12 @@ class Machine {
   }
 
   // Adds raw execution cycles (instruction issue, interrupt overheads, handler bodies).
-  void AddCycles(Cycles c) { counters_.cycles += c.value; }
+  // Every clock advance flows through here, so the attribution ledger sees each cycle
+  // exactly once (a disabled ledger costs one predictable branch).
+  void AddCycles(Cycles c) {
+    counters_.cycles += c.value;
+    attr_.Charge(c.value);
+  }
   Cycles Now() const { return Cycles(counters_.cycles); }
 
   // Charges one data reference at `pa` through (or around) the data cache and advances the
@@ -98,6 +106,42 @@ class Machine {
   HwCounters counters_;
   TraceBuffer trace_;
   LatencyProbes probes_;
+  CycleLedger attr_;
+};
+
+// RAII cause scope for the attribution ledger: cycles charged between construction and
+// destruction land in the cause path formed by the enclosing scopes plus `cause`. When
+// attribution is disabled both ends are a single branch, so hot paths may open scopes
+// unconditionally. Rebind reclassifies a scope whose true cause is only known on the way
+// out (hash-search depth, fault kind); it must run before any nested scope opens.
+class CycleScope {
+ public:
+  CycleScope(Machine& machine, AttrCause cause)
+      : machine_(machine), engaged_(machine.attr().enabled()) {
+    if (engaged_) {
+      start_ = machine_.Now().value;
+      machine_.attr().Push(cause);
+    }
+  }
+  ~CycleScope() {
+    if (engaged_ && machine_.attr().enabled()) {
+      const uint64_t now = machine_.Now().value;
+      machine_.attr().Pop(now, now - start_);
+    }
+  }
+  CycleScope(const CycleScope&) = delete;
+  CycleScope& operator=(const CycleScope&) = delete;
+
+  void Rebind(AttrCause cause) {
+    if (engaged_ && machine_.attr().enabled()) {
+      machine_.attr().Rebind(cause);
+    }
+  }
+
+ private:
+  Machine& machine_;
+  bool engaged_;
+  uint64_t start_ = 0;
 };
 
 }  // namespace ppcmm

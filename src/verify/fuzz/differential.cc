@@ -5,6 +5,7 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
+#include "src/obs/attr/attr_export.h"
 #include "src/sim/check.h"
 #include "src/verify/coherence_auditor.h"
 #include "src/verify/fuzz/reference_mmu.h"
@@ -314,6 +315,9 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
                                     : MachineConfig::Ppc603(80);
 
   System sys(machine, config);
+  // Flight recorder: on divergence the report carries the last attributed events, and every
+  // lockstep run doubles as proof that attribution does not perturb the simulation.
+  sys.machine().attr().SetEnabled(true);
   sys.mmu().SetFastPathEnabled(options.fast_path);
   if (options.break_tlb_invalidate) {
     sys.kernel().flusher().TestOnlyBreakTlbInvalidate(true);
@@ -382,6 +386,10 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
     for (const std::string& line : trace) {
       oss << "  " << line << "\n";
     }
+    std::ostringstream replay;
+    replay << "fuzz seed=" << stream.seed << "; replay: examples/fuzz --seed "
+           << stream.seed << " --preset " << options.config_name;
+    oss << FlightRecorderDump(sys.machine().attr(), replay.str());
     result.report = oss.str();
   }
   return result;

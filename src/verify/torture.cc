@@ -6,6 +6,7 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
+#include "src/obs/attr/attr_export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/perfetto.h"
 #include "src/sim/rng.h"
@@ -101,6 +102,10 @@ TortureResult RunTorture(const TortureOptions& options) {
     sys.machine().trace().Enable();
     sys.machine().probes().SetEnabled(true);
   }
+  // The attribution ledger doubles as the failure flight recorder: always on here, so any
+  // assertion leaves the last attributed events behind (and every torture run re-proves
+  // that enabling attribution does not perturb the simulation).
+  sys.machine().attr().SetEnabled(true);
   MetricsRegistry registry(sys);
   // Exports the retained trace ring and a final metrics snapshot; run on every exit path so
   // even a failed run leaves machine-readable evidence.
@@ -187,6 +192,13 @@ TortureResult RunTorture(const TortureOptions& options) {
       os << "machine trace ring (tail):\n" << sys.machine().trace().Dump(40);
       os << "metrics snapshot:\n" << registry.Snapshot().ToJson().Serialize() << "\n";
     }
+    std::ostringstream replay;
+    replay << "torture seed=" << options.seed << "; replay: examples/torture --seed "
+           << options.seed << " --ops " << options.ops << " --strategy "
+           << (options.strategy == ReloadStrategy::kHardwareHtabWalk ? "hw"
+               : options.strategy == ReloadStrategy::kSoftwareHtab   ? "sw"
+                                                                     : "direct");
+    os << FlightRecorderDump(sys.machine().attr(), replay.str());
     result.failure_report = os.str();
   };
 

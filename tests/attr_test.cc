@@ -1,0 +1,253 @@
+// The cycle-attribution ledger's two contracts:
+//
+//  1. Conservation: with attribution on, the per-cause cells sum bit-exactly to the cycles
+//     the machine simulated — no cycle is lost, none is double-counted, and there is no
+//     "unknown" bucket to hide in (the base cell is "instruction" by construction). Checked
+//     across every fuzz preset x reload strategy combination.
+//  2. Zero perturbation: attribution (on or off) never changes what the simulation does —
+//     hardware counters are identical with the ledger enabled, and a disabled ledger
+//     records nothing at all.
+//
+// Plus unit coverage for the ledger mechanics (Rebind, nesting, per-task cells, the flight
+// ring) and the src/obs/attr exporters built on top.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/obs/attr/attr_export.h"
+#include "src/verify/fuzz/differential.h"
+#include "src/verify/torture.h"
+
+namespace ppcmm {
+namespace {
+
+// Crosses every instrumented path: faults, COW breaks, TLB reloads, range and context
+// flushes, syscalls, pipes, file I/O, context switches, idle reclaim and zeroing.
+void Workload(System& sys) {
+  Kernel& kernel = sys.kernel();
+  const TaskId a = kernel.CreateTask("a");
+  kernel.Exec(a, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 4});
+  kernel.SwitchTo(a);
+  for (uint32_t i = 0; i < 32; ++i) {
+    kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);
+  }
+  const TaskId child = kernel.Fork(a);
+  kernel.SwitchTo(child);
+  for (uint32_t i = 0; i < 8; ++i) {
+    kernel.UserTouch(EffAddr(kUserDataBase + i * kPageSize), AccessKind::kStore);  // COW
+  }
+  const uint32_t map = kernel.Mmap(30);
+  for (uint32_t i = 0; i < 30; ++i) {
+    kernel.UserTouch(EffAddr::FromPage(map + i), AccessKind::kStore);
+  }
+  kernel.Munmap(map, 30);  // above the cutoff: lazy context flush
+  const uint32_t map2 = kernel.Mmap(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    kernel.UserTouch(EffAddr::FromPage(map2 + i), AccessKind::kStore);
+  }
+  kernel.Munmap(map2, 4);  // below the cutoff: eager per-page flush
+  kernel.SwitchTo(a);
+  kernel.Exit(child);
+  kernel.RunIdle(Cycles(20000));  // reclaim + zeroing passes
+}
+
+uint64_t CellSum(const CycleLedger& ledger) {
+  uint64_t sum = 0;
+  for (const CycleLedger::Cell& cell : ledger.Cells()) {
+    sum += cell.cycles;
+  }
+  return sum;
+}
+
+TEST(AttrTest, ConservationAcrossEveryPresetAndStrategy) {
+  const ReloadStrategy strategies[] = {ReloadStrategy::kSoftwareDirect,
+                                       ReloadStrategy::kSoftwareHtab,
+                                       ReloadStrategy::kHardwareHtabWalk};
+  for (const FuzzPreset& preset : FuzzPresets()) {
+    for (const ReloadStrategy strategy : strategies) {
+      // Same machine/config derivation the differential fuzzer uses: the strategy pins
+      // the direct-reload bit, hardware walk needs a 604, the software paths a 603.
+      OptimizationConfig config = preset.config;
+      config.no_htab_direct_reload = strategy == ReloadStrategy::kSoftwareDirect;
+      const MachineConfig machine = strategy == ReloadStrategy::kHardwareHtabWalk
+                                        ? MachineConfig::Ppc604(185)
+                                        : MachineConfig::Ppc603(80);
+      System sys(machine, config);
+      CycleLedger& ledger = sys.machine().attr();
+      ledger.SetEnabled(true);
+      const uint64_t before = sys.counters().cycles;
+      Workload(sys);
+      const uint64_t simulated = sys.counters().cycles - before;
+      const std::string where =
+          preset.name + " / " + ReloadStrategyName(strategy);
+      ASSERT_GT(simulated, 0u) << where;
+      // Bit-exact: every simulated cycle is attributed, exactly once.
+      EXPECT_EQ(ledger.TotalAttributed(), simulated) << where;
+      EXPECT_EQ(CellSum(ledger), simulated) << where;
+    }
+  }
+}
+
+TEST(AttrTest, EnabledAttributionDoesNotPerturbTheSimulation) {
+  System off(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  Workload(off);
+
+  System on(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  on.machine().attr().SetEnabled(true);
+  Workload(on);
+
+  EXPECT_GT(on.machine().attr().events_recorded(), 0u);
+  const HwCounters& c_off = off.counters();
+  const HwCounters& c_on = on.counters();
+  c_off.ForEachField([&](const char* name, uint64_t value_off, bool) {
+    c_on.ForEachField([&](const char* on_name, uint64_t value_on, bool) {
+      if (std::string(name) == on_name) {
+        EXPECT_EQ(value_off, value_on) << name;
+      }
+    });
+  });
+  EXPECT_EQ(c_off.cycles, c_on.cycles);
+}
+
+TEST(AttrTest, DisabledLedgerRecordsNothing) {
+  System sys(MachineConfig::Ppc604(185), OptimizationConfig::AllOptimizations());
+  ASSERT_FALSE(sys.machine().attr().enabled());
+  Workload(sys);
+  EXPECT_EQ(sys.machine().attr().TotalAttributed(), 0u);
+  EXPECT_TRUE(sys.machine().attr().Cells().empty());
+  EXPECT_TRUE(sys.machine().attr().RecentEvents().empty());
+  EXPECT_EQ(sys.machine().attr().events_recorded(), 0u);
+  EXPECT_GT(sys.counters().cycles, 0u);
+}
+
+TEST(AttrTest, ScopesNestAndRebindMovesCycles) {
+  Machine machine(MachineConfig::Ppc604(185));
+  machine.attr().SetEnabled(true);
+  machine.AddCycles(Cycles(7));  // base cell: instruction
+  {
+    CycleScope outer(machine, AttrCause::kSyscall);
+    machine.AddCycles(Cycles(10));
+    {
+      CycleScope inner(machine, AttrCause::kHashSearchPrimary);
+      machine.AddCycles(Cycles(3));
+      inner.Rebind(AttrCause::kHashSearchMiss);  // primary turned out to be a miss
+      machine.AddCycles(Cycles(2));
+    }
+    machine.AddCycles(Cycles(1));
+  }
+  const std::map<std::string, uint64_t> totals = AttrCauseTotals(machine.attr());
+  EXPECT_EQ(totals.at("instruction"), 7u);
+  EXPECT_EQ(totals.at("syscall"), 11u);
+  EXPECT_EQ(totals.at("syscall;hash_miss"), 5u);
+  EXPECT_EQ(totals.count("syscall;hash_primary"), 0u);
+  EXPECT_EQ(machine.attr().TotalAttributed(), 23u);
+}
+
+TEST(AttrTest, CellsAreKeyedByTask) {
+  Machine machine(MachineConfig::Ppc604(185));
+  machine.attr().SetEnabled(true);
+  machine.attr().SetCurrentTask(1);
+  {
+    CycleScope scope(machine, AttrCause::kPipe);
+    machine.AddCycles(Cycles(4));
+  }
+  machine.attr().SetCurrentTask(2);
+  {
+    CycleScope scope(machine, AttrCause::kPipe);
+    machine.AddCycles(Cycles(9));
+  }
+  uint64_t task1 = 0, task2 = 0;
+  for (const CycleLedger::Cell& cell : machine.attr().Cells()) {
+    if (cell.task == 1) task1 += cell.cycles;
+    if (cell.task == 2) task2 += cell.cycles;
+  }
+  EXPECT_EQ(task1, 4u);
+  EXPECT_EQ(task2, 9u);
+}
+
+TEST(AttrTest, FlightRingKeepsTheNewestEvents) {
+  Machine machine(MachineConfig::Ppc604(185));
+  machine.attr().SetEnabled(true);
+  for (uint32_t i = 0; i < 300; ++i) {
+    CycleScope scope(machine, AttrCause::kSyscall);
+    machine.AddCycles(Cycles(i + 1));
+  }
+  EXPECT_EQ(machine.attr().events_recorded(), 300u);
+  const std::vector<AttrEvent> events = machine.attr().RecentEvents();
+  ASSERT_EQ(events.size(), CycleLedger::kFlightCapacity);
+  // Oldest-first window over the last 256 of 300 closes: cycles 45, 46, ..., 300.
+  EXPECT_EQ(events.front().cycles, 300u - CycleLedger::kFlightCapacity + 1);
+  EXPECT_EQ(events.back().cycles, 300u);
+  EXPECT_EQ(events.back().cause, AttrCause::kSyscall);
+
+  const std::string dump = FlightRecorderDump(machine.attr(), "unit test");
+  EXPECT_NE(dump.find("flight recorder: unit test"), std::string::npos);
+  EXPECT_NE(dump.find("syscall"), std::string::npos);
+}
+
+TEST(AttrTest, ExportersRoundTrip) {
+  Machine machine(MachineConfig::Ppc604(185));
+  machine.attr().SetEnabled(true);
+  machine.AddCycles(Cycles(100));
+  {
+    CycleScope scope(machine, AttrCause::kCowFault);
+    machine.AddCycles(Cycles(40));
+    {
+      CycleScope copy(machine, AttrCause::kCowCopy);
+      machine.AddCycles(Cycles(60));
+    }
+  }
+
+  const std::string folded = AttrToFolded(machine.attr());
+  EXPECT_NE(folded.find("task0;instruction 100"), std::string::npos);
+  EXPECT_NE(folded.find("task0;cow_fault 40"), std::string::npos);
+  EXPECT_NE(folded.find("task0;cow_fault;cow_copy 60"), std::string::npos);
+
+  const JsonValue doc = AttrToJson(machine.attr());
+  EXPECT_EQ(doc.Find("total_cycles")->AsNumber(), 200.0);
+  const std::map<std::string, uint64_t> totals = AttrCauseTotalsFromJson(doc);
+  EXPECT_EQ(totals, AttrCauseTotals(machine.attr()));
+
+  // A serialize -> parse round trip preserves the cause map the diff tool consumes.
+  std::string error;
+  const std::optional<JsonValue> parsed = JsonValue::Parse(doc.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(AttrCauseTotalsFromJson(*parsed), totals);
+}
+
+TEST(AttrTest, DiffReportOrdersByMagnitudeAndMarksNewCauses) {
+  const std::map<std::string, uint64_t> a{{"pipe", 1000}, {"syscall", 500}};
+  const std::map<std::string, uint64_t> b{{"pipe", 400}, {"syscall", 510}, {"fork", 90}};
+  const std::string report = AttrDiffReport("a", a, "b", b);
+  const size_t pipe = report.find("pipe");
+  const size_t fork = report.find("fork");
+  const size_t syscall = report.find("syscall");
+  ASSERT_NE(pipe, std::string::npos);
+  ASSERT_NE(fork, std::string::npos);
+  ASSERT_NE(syscall, std::string::npos);
+  EXPECT_LT(pipe, fork);     // |delta| 600 before 90
+  EXPECT_LT(fork, syscall);  // 90 before 10
+  EXPECT_NE(report.find("new"), std::string::npos);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+}
+
+TEST(AttrTest, ClearResetsButStaysEnabled) {
+  Machine machine(MachineConfig::Ppc604(185));
+  machine.attr().SetEnabled(true);
+  {
+    CycleScope scope(machine, AttrCause::kExec);
+    machine.AddCycles(Cycles(5));
+  }
+  machine.attr().Clear();
+  EXPECT_EQ(machine.attr().TotalAttributed(), 0u);
+  EXPECT_EQ(machine.attr().events_recorded(), 0u);
+  machine.AddCycles(Cycles(3));  // still attributing after Clear
+  EXPECT_EQ(machine.attr().TotalAttributed(), 3u);
+}
+
+}  // namespace
+}  // namespace ppcmm

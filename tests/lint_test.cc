@@ -97,6 +97,8 @@ TEST(MmuLintFixtures, HotPathRulesFireAtStagedLines) {
   // quiet; the missing Tlb::TouchLru must be reported so the rule table cannot rot.
   ExpectExactly(RunFixture("hotpath", "HOT"),
                 {
+                    {"src/mmu/bat.h", 5, "HOT-ATTR-026"},
+                    {"src/mmu/bat.h", 7, "HOT-ATTR-026"},
                     {"src/mmu/mmu.cc", 7, "HOT-THROW-021"},
                     {"src/mmu/mmu.cc", 12, "HOT-LOCK-022"},
                     {"src/mmu/mmu.cc", 18, "HOT-IO-023"},

@@ -1,0 +1,8 @@
+// Stages HOT-ATTR-026: a hot header reaching for attribution/observability state
+// directly instead of leaving it to machine.h's CycleScope hook.
+struct Bat {
+  template <typename M>
+  void Observe(M& machine) { machine.attr().Charge(1); }
+  int lookups = 0;
+  void Export() { MetricsRegistry(lookups).Snapshot(); }
+};

@@ -89,6 +89,26 @@ void CheckBody(const LintConfig& config, const SourceFile& sf, const HotFunction
 }  // namespace
 
 void CheckHotPaths(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out) {
+  // HOT-ATTR-026: whole-file scan of the attribution-free hot headers. Unlike the body
+  // checks below this is not scoped to registered functions — a ledger reference anywhere
+  // in one of these headers (member, friend, helper) defeats the CycleScope contract.
+  for (const std::string& header : AttrCleanHeaders()) {
+    auto it = tree.files.find(header);
+    if (it == tree.files.end()) {
+      continue;  // fixtures carry partial trees; absence is fine
+    }
+    const SourceFile& sf = it->second;
+    for (const BannedIdent& ban : AttrBans()) {
+      if (!RuleEnabled(config, ban.id)) {
+        continue;
+      }
+      for (size_t pos : FindIdentifier(sf.code, ban.ident)) {
+        Emit(sf, LineOf(sf.code, pos), ban.id,
+             ban.ident + " in hot header " + header + ": " + ban.why, ban.fix, out);
+      }
+    }
+  }
+
   for (const HotFunction& fn : HotFunctions()) {
     auto it = tree.files.find(fn.file);
     const std::string label = fn.qualifier + "::" + fn.name;

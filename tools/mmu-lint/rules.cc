@@ -143,6 +143,31 @@ const std::vector<BannedIdent>& HotPathBans() {
   return kBans;
 }
 
+const std::vector<std::string>& AttrCleanHeaders() {
+  // The LAYER-HOT-OBS-003 root set minus src/sim/machine.h: machine.h is the sanctioned
+  // owner of the CycleLedger and the CycleScope hook, every other hot header must stay
+  // attribution-free so that disabling the ledger provably compiles to nothing there.
+  static const std::vector<std::string> kHeaders = {
+      "src/sim/cache.h", "src/sim/memory.h",     "src/mmu/tlb.h",          "src/mmu/mmu.h",
+      "src/mmu/bat.h",   "src/mmu/hash_table.h", "src/mmu/segment_regs.h",
+  };
+  return kHeaders;
+}
+
+const std::vector<BannedIdent>& AttrBans() {
+  static const std::vector<BannedIdent> kBans = {
+      {"HOT-ATTR-026", "attr", "direct cycle-ledger access in a hot header",
+       "open a CycleScope (src/sim/machine.h) at the call site instead"},
+      {"HOT-ATTR-026", "CycleLedger", "a hot header must not hold ledger state",
+       "the one ledger lives in Machine; charge through CycleScope"},
+      {"HOT-ATTR-026", "MetricsRegistry", "metrics aggregation from a hot header",
+       "MetricsRegistry reads whole-System state after the run (src/obs/metrics.h)"},
+      {"HOT-ATTR-026", "BenchReport", "bench reporting from a hot header",
+       "feed BenchReport from the bench driver, not from simulation code"},
+  };
+  return kBans;
+}
+
 const std::vector<std::string>& SysGaugeNames() {
   static const std::vector<std::string> kNames = {
       "htab_utilization", "htab_valid",           "htab_live",
@@ -178,6 +203,8 @@ std::vector<std::pair<std::string, std::string>> ListRules() {
       {"HOT-VIRT-024", "no PTE-tree virtual dispatch from pure-translation-tier bodies"},
       {"HOT-MISSING-025", "every registered hot function must still exist where the rule "
                           "table says it does"},
+      {"HOT-ATTR-026", "no direct MetricsRegistry/BenchReport/cycle-ledger access in hot "
+                       "headers; attribution goes through CycleScope only"},
       {"CNT-REF-030", "every hw.<name> reference must name a real HwCounters X-macro field"},
       {"CNT-FOREACH-031", "MetricsRegistry must publish hw counters via ForEachField, not a "
                           "hand-maintained list"},

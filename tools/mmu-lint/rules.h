@@ -73,6 +73,14 @@ const std::vector<HotFunction>& HotFunctions();
 // Globally banned inside every hot function body, with the rule that fires.
 const std::vector<BannedIdent>& HotPathBans();
 
+// HOT-ATTR-026: hot-path headers (the LAYER-HOT-OBS-003 root set minus machine.h, which
+// owns the ledger and defines CycleScope) must not reach observability state directly —
+// no MetricsRegistry/BenchReport construction, no CycleLedger reference, no attr()
+// access. Attribution flows only through the CycleScope hook. Scanned whole-file, not
+// per-body: a header holding a ledger reference is a violation even outside a function.
+const std::vector<std::string>& AttrCleanHeaders();
+const std::vector<BannedIdent>& AttrBans();
+
 // ---- Counter consistency (CNT-*) -----------------------------------------------------
 
 struct CounterPaths {
