@@ -10,12 +10,16 @@
 // PPCMM_QUICK=1 shrinks the workload for smoke runs (bench/run_all.sh --quick and the
 // ctest-registered host_throughput_test).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/layout.h"
 #include "src/mmu/mmu.h"
 #include "src/sim/sweep_runner.h"
 #include "src/workloads/kernel_compile.h"
@@ -93,6 +97,54 @@ OffOnStats RunInterleavedBest(const Strategy& strategy, uint32_t units, int reps
   return best;
 }
 
+// ---- batched translation spans ----
+//
+// Streams page-grained runs through a resident working set — the workload shape the
+// UserTouchRun/Mmu::AccessRun batching API exists for. `batched` off replays the exact
+// same access stream one UserTouch at a time, so the off/on pair both times the span
+// replay against the per-access fast path and cross-checks that the batching is
+// simulation-invisible (identical simulated accesses and cycles).
+struct StreamStats {
+  double host_seconds = 0;
+  uint64_t sim_accesses = 0;
+  uint64_t sim_cycles = 0;
+  uint64_t span_runs = 0;
+  uint64_t span_accesses = 0;
+};
+
+StreamStats RunStream(const Strategy& strategy, uint32_t ws_pages, uint32_t stride,
+                      int passes, bool batched) {
+  System system(strategy.machine, strategy.opts);
+  Kernel& kernel = system.kernel();
+  const TaskId task = kernel.CreateTask("stream");
+  kernel.Exec(task, ExecImage{.text_pages = 4, .data_pages = ws_pages + 4, .stack_pages = 4});
+  kernel.SwitchTo(task);
+  const EffAddr heap(kUserDataBase);
+  const uint32_t count = ws_pages * kPageSize / stride;
+  // Fault the set in with stores (installs writable+changed PTEs) so the timed passes
+  // measure steady-state translation, not demand paging.
+  kernel.UserTouchRun(heap, stride, count, AccessKind::kStore);
+  const HwCounters before = system.counters();
+  const auto start = std::chrono::steady_clock::now();
+  for (int p = 0; p < passes; ++p) {
+    if (batched) {
+      kernel.UserTouchRun(heap, stride, count, AccessKind::kLoad);
+    } else {
+      for (uint32_t i = 0; i < count; ++i) {
+        kernel.UserTouch(heap + i * stride, AccessKind::kLoad);
+      }
+    }
+  }
+  StreamStats stats;
+  stats.host_seconds = Seconds(std::chrono::steady_clock::now() - start);
+  const HwCounters d = system.counters().Diff(before);
+  stats.sim_accesses = d.itlb_accesses + d.dtlb_accesses + d.bat_translations;
+  stats.sim_cycles = d.cycles;
+  stats.span_runs = system.mmu().span_runs();
+  stats.span_accesses = system.mmu().span_accesses();
+  return stats;
+}
+
 int Main() {
   const bool quick = QuickMode();
   // Full-mode runs are sized so one simulation takes a few hundred host milliseconds —
@@ -149,6 +201,57 @@ int Main() {
               cycles_identical ? "HOLDS" : "FAILS");
   std::printf("mean fast-path speedup: %.2fx\n", fast_speedup);
 
+  Headline("Batched translation spans: page-grained runs vs per-access touches");
+  Mmu::SetFastPathDefault(true);
+  const uint32_t ws_pages = quick ? 256 : 1024;  // 1 MB / 4 MB resident working set
+  TextTable span_table(
+      {"strategy", "stride", "Maccess/s per-access", "Maccess/s batched", "span speedup",
+       "accesses/span"});
+  bool spans_identical = true;
+  double best_batched_maccess = 0;
+  for (const Strategy& strategy :
+       {strategies[1] /* 604 optimized */, strategies[3] /* 603 direct */}) {
+    for (const uint32_t stride : {4u, 32u}) {
+      // Size passes so the batched side runs a few hundred host ms in full mode.
+      const uint32_t per_pass = ws_pages * kPageSize / stride;
+      const int passes = quick ? 2 : static_cast<int>(stride == 4 ? 24 : 96);
+      StreamStats single;
+      StreamStats span;
+      for (int r = 0; r < reps; ++r) {
+        const StreamStats s = RunStream(strategy, ws_pages, stride, passes, false);
+        const StreamStats b = RunStream(strategy, ws_pages, stride, passes, true);
+        if (r == 0 || s.host_seconds < single.host_seconds) single = s;
+        if (r == 0 || b.host_seconds < span.host_seconds) span = b;
+      }
+      spans_identical = spans_identical && single.sim_accesses == span.sim_accesses &&
+                        single.sim_cycles == span.sim_cycles;
+      const double m_single =
+          static_cast<double>(single.sim_accesses) / single.host_seconds / 1e6;
+      const double m_span = static_cast<double>(span.sim_accesses) / span.host_seconds / 1e6;
+      if (m_span > best_batched_maccess) best_batched_maccess = m_span;
+      const double per_span =
+          span.span_runs == 0 ? 0.0
+                              : static_cast<double>(span.span_accesses) /
+                                    static_cast<double>(span.span_runs);
+      span_table.AddRow({strategy.name, std::to_string(stride), TextTable::Num(m_single, 2),
+                         TextTable::Num(m_span, 2),
+                         TextTable::Num(m_span / m_single, 2) + "x",
+                         TextTable::Num(per_span, 1)});
+      const std::string key =
+          std::string(strategy.name) + ".stride" + std::to_string(stride);
+      BenchReport::Global().Add(key + ".batched_accesses_per_sec", m_span * 1e6, "1/s");
+      BenchReport::Global().Add(key + ".span_speedup", m_span / m_single, "x");
+      (void)per_pass;
+    }
+  }
+  Mmu::SetFastPathDefault(std::nullopt);
+  std::printf("%s\n", span_table.ToString().c_str());
+  std::printf("batched runs simulation-invisible (cycles+accesses identical): %s\n",
+              spans_identical ? "HOLDS" : "FAILS");
+  std::printf("best batched throughput: %.1f Maccess/s\n", best_batched_maccess);
+  BenchReport::Global().Add("batched_best_accesses_per_sec", best_batched_maccess * 1e6,
+                            "1/s");
+
   Headline("Parallel sweep: all strategies, serial vs SweepRunner");
   Mmu::SetFastPathDefault(true);
   const auto serial_start = std::chrono::steady_clock::now();
@@ -183,7 +286,46 @@ int Main() {
   BenchReport::Global().Add("fast_path_mean_speedup", fast_speedup, "x");
   BenchReport::Global().Add("combined_speedup_vs_serial_fast_off", combined_speedup, "x");
 
-  return cycles_identical ? 0 : 1;
+  Headline("Sharded sweep: fork-per-shard processes vs serial");
+  // PPCMM_SWEEP_SHARDS (bench/run_all.sh --shards) picks the shard count; without it the
+  // bench still exercises the forked path on a couple of shards. All SweepRunner threads
+  // above are joined by now, so the process is single-threaded and safe to fork.
+  const unsigned env_shards = SweepRunner::DefaultShards();
+  const unsigned hw_cores = std::thread::hardware_concurrency();
+  const unsigned shards =
+      env_shards > 1 ? env_shards : std::min(2u, hw_cores != 0 ? hw_cores : 1u);
+  Mmu::SetFastPathDefault(true);
+  const auto shard_serial_start = std::chrono::steady_clock::now();
+  std::vector<RunStats> shard_serial;
+  shard_serial.reserve(strategies.size());
+  for (const Strategy& strategy : strategies) {
+    shard_serial.push_back(RunOnce(strategy, units));
+  }
+  const double shard_serial_s = Seconds(std::chrono::steady_clock::now() - shard_serial_start);
+
+  const auto shard_start = std::chrono::steady_clock::now();
+  const std::vector<RunStats> sharded = runner.MapSharded(
+      strategies.size(), shards, [&](size_t i) { return RunOnce(strategies[i], units); });
+  const double sharded_s = Seconds(std::chrono::steady_clock::now() - shard_start);
+  Mmu::SetFastPathDefault(std::nullopt);
+
+  // The shards run the identical deterministic simulations, so the merged results must be
+  // bit-identical to the serial pass — this is the same contract the CI sharded-smoke job
+  // checks at the BENCH-json level.
+  bool sharded_identical = sharded.size() == shard_serial.size();
+  for (size_t i = 0; sharded_identical && i < sharded.size(); ++i) {
+    sharded_identical = sharded[i].sim_accesses == shard_serial[i].sim_accesses &&
+                        sharded[i].sim_cycles == shard_serial[i].sim_cycles;
+  }
+  const double sharded_speedup = shard_serial_s / sharded_s;
+  std::printf("  shards: %u (host cores: %u)\n", shards, hw_cores);
+  std::printf("  serial %.2fs, sharded %.2fs -> %.2fx; results bit-identical: %s\n",
+              shard_serial_s, sharded_s, sharded_speedup,
+              sharded_identical ? "HOLDS" : "FAILS");
+  BenchReport::Global().Add("sweep_shards", shards, "");
+  BenchReport::Global().Add("sharded_speedup", sharded_speedup, "x");
+
+  return cycles_identical && spans_identical && sharded_identical ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""check_sweep_parity: prove sharded sweeps change nothing but wall-clock time.
+
+Usage: scripts/check_sweep_parity.py SERIAL_DIR SHARDED_DIR
+
+Both directories hold BENCH_*.json reports from bench/run_all.sh — one produced with
+PPCMM_SWEEP_SHARDS=1, the other with >1 shard. The merged sharded report must carry
+exactly the same bench set and, per bench, exactly the same metric keys as the serial
+run. For the simulated benches (everything except the host-timing reports) the metric
+VALUES must also be bit-identical: shard processes replay the same deterministic
+simulations, so any value drift means the shard->config assignment or the result merge
+is broken. Host-timing reports (wall-clock metrics) only need key-set equality.
+"""
+
+import json
+import os
+import re
+import sys
+
+# Benches whose metrics are wall-clock measurements; values legitimately differ between
+# runs. Keep in sync with HOST_BENCHES in tools/bench-trend.
+HOST_BENCHES = {"host_throughput"}
+
+
+def flatten(doc):
+    """Same key scheme as tools/bench-trend flatten_report: name, or section.row:name
+    when a name repeats within the report."""
+    rows = []
+    for si, section in enumerate(doc.get("sections", [])):
+        for mi, metric in enumerate(section.get("metrics", [])):
+            rows.append((si, mi, metric))
+    counts = {}
+    for _, _, metric in rows:
+        counts[metric["name"]] = counts.get(metric["name"], 0) + 1
+    flat = {}
+    for si, mi, metric in rows:
+        name = metric["name"]
+        key = name if counts[name] == 1 else f"{si}.{mi}:{name}"
+        flat[key] = metric["value"]
+    return flat
+
+
+def load(bench_out):
+    benches = {}
+    for fname in sorted(os.listdir(bench_out)):
+        m = re.fullmatch(r"BENCH_(.+)\.json", fname)
+        if not m:
+            continue
+        with open(os.path.join(bench_out, fname), encoding="utf-8") as f:
+            benches[m.group(1)] = flatten(json.load(f))
+    if not benches:
+        raise SystemExit(f"error: no BENCH_*.json reports in {bench_out}")
+    return benches
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__.strip())
+    serial, sharded = load(sys.argv[1]), load(sys.argv[2])
+    failures = []
+    if set(serial) != set(sharded):
+        failures.append(f"bench sets differ: serial={sorted(serial)} sharded={sorted(sharded)}")
+    for bench in sorted(set(serial) & set(sharded)):
+        s_keys, p_keys = set(serial[bench]), set(sharded[bench])
+        for key in sorted(s_keys - p_keys):
+            failures.append(f"{bench}: metric '{key}' missing from sharded report")
+        for key in sorted(p_keys - s_keys):
+            failures.append(f"{bench}: metric '{key}' only in sharded report")
+        if bench in HOST_BENCHES:
+            continue
+        for key in sorted(s_keys & p_keys):
+            if serial[bench][key] != sharded[bench][key]:
+                failures.append(f"{bench}: '{key}' diverged: serial={serial[bench][key]} "
+                                f"sharded={sharded[bench][key]}")
+    if failures:
+        for f in failures:
+            print(f"PARITY FAIL: {f}", file=sys.stderr)
+        return 1
+    n = sum(len(m) for m in serial.values())
+    print(f"sharded sweep parity OK: {len(serial)} benches / {n} metrics "
+          f"(values bit-identical outside {sorted(HOST_BENCHES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -898,11 +898,56 @@ void Kernel::UserTouch(EffAddr ea, AccessKind kind) {
   PPCMM_CHECK_MSG(false, "fault loop did not converge at 0x" << std::hex << ea.value);
 }
 
+void Kernel::UserTouchRun(EffAddr start, uint32_t stride, uint32_t count, AccessKind kind) {
+  PPCMM_CHECK(stride > 0);
+  Task& current = CurrentTask();
+  uint32_t done = 0;
+  uint32_t attempts = 0;  // faults taken at the current access without progress
+  while (done < count) {
+    AccessOutcome outcome = AccessOutcome::kOk;
+    const uint32_t n =
+        mmu_->AccessRun(start + done * stride, stride, count - done, kind, &outcome);
+    done += n;
+    if (done >= count) {
+      return;
+    }
+    if (n > 0) {
+      attempts = 0;  // progress: the convergence bound is per faulting access
+    }
+    // The run stopped on a fault at access `done`; repair exactly as UserTouch would and
+    // resume the run from the faulting access.
+    const EffAddr ea = start + done * stride;
+    switch (outcome) {
+      case AccessOutcome::kOk:
+        PPCMM_CHECK_MSG(false, "AccessRun stopped short without a fault");
+        break;
+      case AccessOutcome::kPageFault: {
+        const Cycles fault_start = machine_.Now();
+        HandlePageFault(current, ea, kind);
+        machine_.RecordLatency(LatencyProbe::kPageFault, fault_start);
+        break;
+      }
+      case AccessOutcome::kProtectionFault: {
+        const std::optional<LinuxPte> pte = current.mm->page_table->LookupQuiet(ea);
+        PPCMM_CHECK_MSG(pte.has_value() && pte->present && pte->cow,
+                        "write to a genuinely read-only mapping at 0x" << std::hex << ea.value);
+        const Cycles fault_start = machine_.Now();
+        HandleCowFault(current, ea);
+        machine_.RecordLatency(LatencyProbe::kCowFault, fault_start);
+        break;
+      }
+    }
+    ++attempts;
+    PPCMM_CHECK_MSG(attempts < 8, "fault loop did not converge at 0x" << std::hex << ea.value);
+  }
+}
+
 void Kernel::UserTouchRange(EffAddr start, uint32_t bytes, uint32_t stride, AccessKind kind) {
   PPCMM_CHECK(stride > 0);
-  for (uint32_t offset = 0; offset < bytes; offset += stride) {
-    UserTouch(start + offset, kind);
+  if (bytes == 0) {
+    return;
   }
+  UserTouchRun(start, stride, (bytes - 1) / stride + 1, kind);
 }
 
 void Kernel::UserExecute(uint32_t instructions) {

@@ -226,6 +226,78 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   return AccessOutcome::kOk;
 }
 
+uint32_t Mmu::AccessRun(EffAddr ea, uint32_t stride, uint32_t count, AccessKind kind,
+                        AccessOutcome* outcome) {
+  *outcome = AccessOutcome::kOk;
+  const bool is_ifetch = IsInstruction(kind);
+  const bool is_write = IsWrite(kind);
+  uint32_t done = 0;
+  while (done < count) {
+    const EffAddr cur = ea + done * stride;
+    // Span replay is legal only when the memo fast path is trusted for this page and no
+    // fault injector demands per-access polling. The validity test is byte-for-byte the
+    // one Access() applies; a span that validates proves every remaining in-page access
+    // would take the identical memo hit, because nothing the replay does (cache state,
+    // counters, LRU ticks) feeds back into the generation counters or the entry tag.
+    if (fast_path_enabled_ && injector_ == nullptr) {
+      const uint32_t epn = cur.EffPageNumber();
+      FastSlot& slot = fast_slots_[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
+      if (slot.eff_page == epn && slot.gen == FastGen()) {
+        const uint32_t offset = cur.PageOffset();
+        const uint32_t in_page = (kPageSize - 1 - offset) / stride + 1;
+        const uint32_t n = std::min(count - done, in_page);
+        HwCounters& counters = machine_.counters();
+        if (slot.entry == nullptr) {
+          // Memoized BAT hit: the block is a page-aligned linear map, so the whole
+          // in-page run lands in the memoized frame.
+          ++span_runs_;
+          span_accesses_ += n;
+          fast_hits_ += n;
+          counters.bat_translations += n;
+          const PhysAddr pa = PhysAddr::FromFrame(slot.bat_frame, offset);
+          if (is_ifetch) {
+            machine_.TouchInstructionRun(pa, stride, n, !slot.bat_cache_inhibited);
+          } else {
+            machine_.TouchDataRun(pa, stride, n, is_write, !slot.bat_cache_inhibited);
+          }
+          done += n;
+          continue;
+        }
+        TlbEntry* entry = slot.entry;
+        if (entry->valid && entry->vsid.value == slot.vsid &&
+            entry->page_index == (epn & kPageIndexMask) &&
+            (!is_write || (entry->writable && entry->changed))) {
+          ++span_runs_;
+          span_accesses_ += n;
+          fast_hits_ += n;
+          Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+          if (is_ifetch) {
+            counters.itlb_accesses += n;
+          } else {
+            counters.dtlb_accesses += n;
+          }
+          tlb.TouchLruRun(entry, n);
+          const PhysAddr pa = PhysAddr::FromFrame(entry->frame, offset);
+          if (is_ifetch) {
+            machine_.TouchInstructionRun(pa, stride, n, !entry->cache_inhibited);
+          } else {
+            machine_.TouchDataRun(pa, stride, n, is_write, !entry->cache_inhibited);
+          }
+          done += n;
+          continue;
+        }
+      }
+    }
+    const AccessOutcome result = Access(cur, kind);
+    if (result != AccessOutcome::kOk) {
+      *outcome = result;
+      return done;
+    }
+    ++done;
+  }
+  return done;
+}
+
 std::optional<PhysAddr> Mmu::Probe(EffAddr ea, AccessKind kind) const {
   const bool supervisor = ea.IsKernel();
   const BatArray& bats = IsInstruction(kind) ? ibats_ : dbats_;

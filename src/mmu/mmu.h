@@ -124,6 +124,21 @@ class Mmu {
   // (kernel fault path) repairs the PTE tree and retries.
   AccessOutcome Access(EffAddr ea, AccessKind kind);
 
+  // Batched Access: up to `count` references starting at `ea`, each `stride` bytes after
+  // the previous, bit-identical to `count` sequential Access() calls. Returns how many
+  // accesses completed; on a fault `*outcome` names it and the caller resumes at
+  // ea + done*stride after repairing the PTE tree (the kernel fault loop).
+  //
+  // The speed comes from *translation spans*: when the memo slot for the current page
+  // validates (generation counters match, the TLB entry still carries the memoized tag,
+  // and the write gate shows no pending protection/C-bit work), every remaining access
+  // inside that page is proven to replay the identical memo hit, so the whole in-page run
+  // is charged at once — one counter add, one LRU tick advance, one batched payload charge.
+  // Span validity keys off generation counters and entry tags only; anything else (a fault
+  // injector being armed, fast path off, memo miss) degrades to the per-access path.
+  uint32_t AccessRun(EffAddr ea, uint32_t stride, uint32_t count, AccessKind kind,
+                     AccessOutcome* outcome);
+
   // Translation without the final payload cache access (probe used by tests/instrumentation;
   // charges nothing and changes nothing).
   std::optional<PhysAddr> Probe(EffAddr ea, AccessKind kind) const;
@@ -176,6 +191,10 @@ class Mmu {
   // Host-side statistics (not HwCounters: they must not exist inside the simulation).
   uint64_t fast_path_hits() const { return fast_hits_; }
   uint64_t fast_path_misses() const { return fast_misses_; }
+  // Translation-span replays served by AccessRun and the accesses they covered (every
+  // span access is also counted in fast_path_hits).
+  uint64_t span_runs() const { return span_runs_; }
+  uint64_t span_accesses() const { return span_accesses_; }
 
  private:
   // One memoized outcome. `entry == nullptr` marks a memoized BAT hit (bat_frame/WIMG-I
@@ -221,6 +240,8 @@ class Mmu {
   bool fast_path_enabled_;
   uint64_t fast_hits_ = 0;
   uint64_t fast_misses_ = 0;
+  uint64_t span_runs_ = 0;
+  uint64_t span_accesses_ = 0;
   std::array<std::array<FastSlot, kFastPathSlots>, 2> fast_slots_;  // [IsInstruction(kind)]
 };
 

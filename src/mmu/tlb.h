@@ -68,6 +68,14 @@ class Tlb {
   // Lookup hit would have had. Host-fast-path use only.
   void TouchLru(TlbEntry* entry) { entry->last_used = ++tick_; }
 
+  // `n` back-to-back hits on the same resident entry, collapsed: bit-identical to calling
+  // TouchLru `n` times (the tick advances by n and the entry ends up most recent).
+  // Host-fast-path use only (translation-span replay).
+  void TouchLruRun(TlbEntry* entry, uint32_t n) {
+    tick_ += n;
+    entry->last_used = tick_;
+  }
+
   // Installs a translation, replacing an invalid way or the LRU way of the set.
   void Insert(const TlbEntry& entry);
 

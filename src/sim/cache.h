@@ -102,11 +102,45 @@ class Cache {
     return outcome;
   }
 
+  // `n` accesses to the single line containing `pa`, collapsed: bit-identical to calling
+  // AccessLine `n` times with same-line addresses. Only the first access can miss (the
+  // returned outcome); the remaining n-1 are hits on the line the first one left resident,
+  // so they reduce to counter adds and one LRU refresh. Host-fast-path use only
+  // (translation-span replay).
+  CacheAccessOutcome AccessLineRun(PhysAddr pa, bool is_write, uint32_t n) {
+    const CacheAccessOutcome first = AccessLine(pa, is_write);
+    if (n > 1) {
+      const uint64_t extra = n - 1;
+      stats_.accesses += extra;
+      stats_.hits += extra;
+      tick_ += extra;
+      const uint32_t set = SetIndex(pa);
+      const uint32_t tag = Tag(pa);
+      Line* ways = &lines_[static_cast<size_t>(set) * geometry_.associativity];
+      for (uint32_t w = 0; w < geometry_.associativity; ++w) {
+        Line& line = ways[w];
+        if (line.valid && line.tag == tag) {
+          line.last_used = tick_;
+          line.dirty = line.dirty || is_write;
+          break;
+        }
+      }
+    }
+    return first;
+  }
+
   // Performs one cache-inhibited access (the line is neither looked up nor allocated).
   // Inline: the uncached idle-task configurations issue one of these per zeroed word.
   Cycles AccessUncached(bool /*is_write*/) {
     ++stats_.uncached_accesses;
     return Cycles(timing_.single_beat_cycles);
+  }
+
+  // `n` cache-inhibited accesses, collapsed: every one costs the same single-beat latency
+  // and touches no line state, so the batch is n counter bumps and one multiply.
+  Cycles AccessUncachedRun(bool /*is_write*/, uint32_t n) {
+    stats_.uncached_accesses += n;
+    return Cycles(static_cast<uint64_t>(timing_.single_beat_cycles) * n);
   }
 
   // dcbt-style software prefetch: starts filling the line containing `pa` if absent. The

@@ -7,6 +7,8 @@
 #ifndef PPCMM_SRC_SIM_MACHINE_H_
 #define PPCMM_SRC_SIM_MACHINE_H_
 
+#include <algorithm>
+
 #include "src/sim/attr.h"
 #include "src/sim/probes.h"
 #include "src/sim/cache.h"
@@ -85,6 +87,61 @@ class Machine {
     }
     const CacheAccessOutcome l1 = icache_.AccessLine(pa, false);
     AddCycles(l1.hit ? Cycles(1) : MissCost(pa, false, l1.evicted_dirty));
+  }
+
+  // Charges `count` data references starting at `pa`, each `stride` bytes after the
+  // previous, all within one physical page — bit-identical to `count` TouchData calls.
+  // Within the run addresses are strictly increasing, so each cache line is visited in one
+  // contiguous group: the first access of a group is the only one that can miss, the rest
+  // collapse inside AccessLineRun, and the cycles accumulate into a single AddCycles (the
+  // ledger charges the same total into the same open cell). Host-fast-path use only
+  // (translation-span replay; spans never cross a page).
+  void TouchDataRun(PhysAddr pa, uint32_t stride, uint32_t count, bool is_write,
+                    bool cached = true) {
+    if (!cached) {
+      AddCycles(dcache_.AccessUncachedRun(is_write, count));
+      return;
+    }
+    const uint32_t line = config_.dcache.line_bytes;
+    uint64_t cycles = 0;
+    uint32_t i = 0;
+    while (i < count) {
+      const PhysAddr cur(pa.value + i * stride);
+      uint32_t reps = 1;
+      if (stride < line) {
+        const uint32_t line_left = line - (cur.value & (line - 1));
+        reps = std::min(count - i, (line_left - 1) / stride + 1);
+      }
+      const CacheAccessOutcome l1 = dcache_.AccessLineRun(cur, is_write, reps);
+      cycles += l1.hit ? 1 : MissCost(cur, is_write, l1.evicted_dirty).value;
+      cycles += reps - 1;  // repeats on the just-touched line are L1 hits, 1 cycle each
+      i += reps;
+    }
+    AddCycles(Cycles(cycles));
+  }
+
+  // Instruction-fetch variant of TouchDataRun, same contract against TouchInstruction.
+  void TouchInstructionRun(PhysAddr pa, uint32_t stride, uint32_t count, bool cached = true) {
+    if (!cached) {
+      AddCycles(icache_.AccessUncachedRun(false, count));
+      return;
+    }
+    const uint32_t line = config_.icache.line_bytes;
+    uint64_t cycles = 0;
+    uint32_t i = 0;
+    while (i < count) {
+      const PhysAddr cur(pa.value + i * stride);
+      uint32_t reps = 1;
+      if (stride < line) {
+        const uint32_t line_left = line - (cur.value & (line - 1));
+        reps = std::min(count - i, (line_left - 1) / stride + 1);
+      }
+      const CacheAccessOutcome l1 = icache_.AccessLineRun(cur, false, reps);
+      cycles += l1.hit ? 1 : MissCost(cur, false, l1.evicted_dirty).value;
+      cycles += reps - 1;
+      i += reps;
+    }
+    AddCycles(Cycles(cycles));
   }
 
   // Issues a software data prefetch (dcbt) for the line containing `pa`.

@@ -74,6 +74,46 @@ void ApplyAndCheck(System& sys, const ExpectedStep& step) {
       }
       break;
     }
+    case FuzzOpKind::kTouchRun: {
+      Task& cur = kernel.task(kernel.current());
+      const uint64_t pf0 = cur.obs.page_faults;
+      const uint64_t cf0 = cur.obs.cow_faults;
+      kernel.UserTouchRun(EffAddr::FromPage(step.page, step.offset), step.run_stride,
+                          step.run_count, step.access);
+      PPCMM_CHECK_MSG(cur.obs.page_faults - pf0 == step.expect_page_faults,
+                      "page-fault count diverged on run at page 0x"
+                          << std::hex << step.page << std::dec << " (" << step.page_count
+                          << " pages): kernel took " << (cur.obs.page_faults - pf0)
+                          << ", oracle expected " << step.expect_page_faults);
+      PPCMM_CHECK_MSG(cur.obs.cow_faults - cf0 == step.expect_cow_faults,
+                      "COW-fault count diverged on run at page 0x"
+                          << std::hex << step.page << std::dec << " (" << step.page_count
+                          << " pages): kernel took " << (cur.obs.cow_faults - cf0)
+                          << ", oracle expected " << step.expect_cow_faults);
+      for (uint32_t i = 0; i < step.page_count; ++i) {
+        const EffAddr token_ea = EffAddr::FromPage(step.page + i);
+        const auto pa = sys.mmu().Probe(token_ea, step.access);
+        PPCMM_CHECK_MSG(pa.has_value(), "page 0x" << std::hex << (step.page + i)
+                                                  << " untranslatable right after a run");
+        const auto pte = cur.mm->page_table->LookupQuiet(token_ea);
+        PPCMM_CHECK_MSG(pte.has_value() && pte->present,
+                        "run page 0x" << std::hex << (step.page + i) << " has no present PTE");
+        PPCMM_CHECK_MSG(pte->frame == pa->PageFrame(),
+                        "translation disagrees with the PTE tree on run page 0x"
+                            << std::hex << (step.page + i) << ": probe frame "
+                            << pa->PageFrame() << ", PTE frame " << pte->frame);
+        if (step.write_token) {
+          sys.machine().memory().Write32(*pa, step.run_tokens[i]);
+        } else if (step.check_token) {
+          const uint32_t got = sys.machine().memory().Read32(*pa);
+          PPCMM_CHECK_MSG(got == step.run_tokens[i],
+                          "run page 0x" << std::hex << (step.page + i)
+                                        << " content diverged: read 0x" << got
+                                        << ", oracle expected 0x" << step.run_tokens[i]);
+        }
+      }
+      break;
+    }
     case FuzzOpKind::kMmap:
     case FuzzOpKind::kMmapFixed: {
       MmapOptions options;

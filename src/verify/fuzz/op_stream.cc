@@ -31,6 +31,7 @@ constexpr KindInfo kKinds[kNumFuzzOpKinds] = {
     {FuzzOpKind::kFbTouch, "fb_touch", 6},
     {FuzzOpKind::kFbBatToggle, "fb_bat_toggle", 2},
     {FuzzOpKind::kIdle, "idle", 3},
+    {FuzzOpKind::kTouchRun, "touch_run", 8},
 };
 
 uint32_t TotalWeight() {

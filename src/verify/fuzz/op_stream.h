@@ -34,8 +34,9 @@ enum class FuzzOpKind : uint8_t {
   kFbTouch,       // load/store in the framebuffer aperture (BAT path when active)
   kFbBatToggle,   // program/clear the framebuffer DBAT mid-stream (BAT rewrite)
   kIdle,          // idle ticks: zombie reclaim + page zeroing
+  kTouchRun,      // batched multi-page access run (UserTouchRun), crossing fault boundaries
 };
-inline constexpr uint32_t kNumFuzzOpKinds = 14;
+inline constexpr uint32_t kNumFuzzOpKinds = 15;
 
 const char* FuzzOpName(FuzzOpKind kind);
 // Returns kNumFuzzOpKinds for an unknown name.

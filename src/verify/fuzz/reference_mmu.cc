@@ -1,5 +1,7 @@
 #include "src/verify/fuzz/reference_mmu.h"
 
+#include <algorithm>
+
 #include "src/sim/check.h"
 
 namespace ppcmm {
@@ -65,6 +67,9 @@ ExpectedStep ReferenceMmu::Plan(const FuzzOp& op, uint32_t op_index) {
   switch (op.kind) {
     case FuzzOpKind::kTouch:
       PlanTouch(op, op_index, step);
+      break;
+    case FuzzOpKind::kTouchRun:
+      PlanTouchRun(op, op_index, step);
       break;
     case FuzzOpKind::kMmap:
       PlanMmap(op, step);
@@ -176,6 +181,67 @@ void ReferenceMmu::PlanTouch(const FuzzOp& op, uint32_t op_index, ExpectedStep& 
     step.check_token = true;
     step.token = it->second.token;
   }
+}
+
+void ReferenceMmu::PlanTouchRun(const FuzzOp& op, uint32_t op_index, ExpectedStep& step) {
+  RefTask& cur = Current();
+  // Same candidate set as PlanTouch: every region except the framebuffer aperture.
+  std::vector<ReferenceVmaModel::Region> regions;
+  for (const ReferenceVmaModel::Region& r : cur.vmas.Regions()) {
+    if (!IsKind(r.attr, RefRegionKind::kFb)) {
+      regions.push_back(r);
+    }
+  }
+  if (regions.empty()) {
+    step.skip = true;
+    step.skip_reason = "no touchable regions";
+    return;
+  }
+  const ReferenceVmaModel::Region& r = regions[op.a % regions.size()];
+  const uint32_t first = r.start + op.b % r.pages;
+  const uint32_t max_pages = r.start + r.pages - first;
+  const uint32_t pages = 1 + op.c % std::min(max_pages, 8u);
+  step.page = first;
+  step.page_count = pages;
+  // Loads or stores only: a run's accesses all share one kind, and ifetch runs add no
+  // coverage the per-page kTouch ifetch doesn't already have.
+  step.access = (op.c >> 8) % 2 == 0 ? AccessKind::kLoad : AccessKind::kStore;
+  if (step.access == AccessKind::kStore && !r.attr.writable) {
+    step.access = AccessKind::kLoad;  // same downgrade as PlanTouch (no signals here)
+  }
+  step.offset = ((op.c >> 4) % 16) * 64;
+  step.run_stride = 1u << (2 + (op.b >> 16) % 9);  // 4..1024 bytes; always enters each page
+  const uint32_t total_bytes = pages * kPageSize - step.offset;
+  step.run_count = (total_bytes - 1) / step.run_stride + 1;
+
+  // Page-granular architectural effects, applied in run order: absent pages demand-fault
+  // as the run first enters them; COW pages break mid-run on store runs. This is exactly
+  // the "crossing flush/COW boundaries mid-run" shape the batched path must survive.
+  const bool is_store = step.access == AccessKind::kStore;
+  for (uint32_t p = first; p < first + pages; ++p) {
+    auto it = cur.pages.find(p);
+    if (it == cur.pages.end()) {
+      ++step.expect_page_faults;
+      RefPage pg;
+      pg.writable = r.attr.writable;
+      pg.stored = is_store;
+      it = cur.pages.emplace(p, pg).first;
+    } else if (is_store && !it->second.writable) {
+      PPCMM_CHECK_MSG(it->second.cow, "oracle invariant: non-writable page must be cow");
+      ++step.expect_cow_faults;
+      it->second.writable = true;
+      it->second.cow = false;
+      it->second.stored = true;
+    } else if (is_store) {
+      it->second.stored = true;
+    }
+    if (is_store) {
+      it->second.token = TokenFor(op_index, cur.id, p);
+    }
+    step.run_tokens.push_back(it->second.token);
+  }
+  step.write_token = is_store;
+  step.check_token = !is_store;
 }
 
 void ReferenceMmu::PlanMmap(const FuzzOp& op, ExpectedStep& step) {

@@ -93,6 +93,11 @@ struct ExpectedStep {
 
   // kIdle
   uint32_t idle_cycles = 0;
+
+  // kTouchRun (also uses page/offset/access and the fault deltas; page_count pages)
+  uint32_t run_stride = 0;           // bytes between accesses
+  uint32_t run_count = 0;            // accesses in the run
+  std::vector<uint32_t> run_tokens;  // per page: expected (load) / to-write (store)
 };
 
 // The oracle proper.
@@ -142,6 +147,7 @@ class ReferenceMmu {
 
   // Per-kind planners (each both fills `step` and applies the op to the oracle).
   void PlanTouch(const FuzzOp& op, uint32_t op_index, ExpectedStep& step);
+  void PlanTouchRun(const FuzzOp& op, uint32_t op_index, ExpectedStep& step);
   void PlanMmap(const FuzzOp& op, ExpectedStep& step);
   void PlanMmapFixed(const FuzzOp& op, ExpectedStep& step);
   void PlanMunmap(const FuzzOp& op, ExpectedStep& step);

@@ -65,15 +65,18 @@ KernelCompileResult RunKernelCompile(System& system, const KernelCompileConfig& 
     kernel.FileRead(source, 0, config.source_file_pages * kPageSize,
                     EffAddr(kUserDataBase + 16 * kPageSize));
 
-    // Compile: passes over the anonymous working set interleaved with execution.
+    // Compile: passes over the anonymous working set interleaved with execution, each
+    // pass emitted as page-grained runs — a full load sweep at a per-pass line offset
+    // plus a store sweep over a third of the pages (the dirty ratio the per-page random
+    // walk used to produce).
     const EffAddr heap(kUserDataBase);
     for (uint32_t loop = 0; loop < config.compute_loops; ++loop) {
       kernel.UserExecute(4096);
-      for (uint32_t p = 0; p < config.working_set_pages; ++p) {
-        const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(kPageSize / 64)) * 64;
-        kernel.UserTouch(heap + p * kPageSize + offset,
-                         rng.Chance(1, 3) ? AccessKind::kStore : AccessKind::kLoad);
-      }
+      const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(kPageSize / 64)) * 64;
+      kernel.UserTouchRun(heap + offset, kPageSize, config.working_set_pages,
+                          AccessKind::kLoad);
+      kernel.UserTouchRun(heap + offset, 3 * kPageSize, (config.working_set_pages + 2) / 3,
+                          AccessKind::kStore);
     }
 
     // Sample the TLB occupancy mid-compile, as the paper's hardware monitor did.

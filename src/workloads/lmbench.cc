@@ -1,5 +1,6 @@
 #include "src/workloads/lmbench.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/kernel/layout.h"
@@ -46,9 +47,15 @@ void LmBench::TouchWorkingSet(uint32_t kb, uint32_t salt) {
 // One slice of "application work" between kernel operations: advance through the task's
 // resident footprint one page per call and execute a few instructions.
 void LmBench::AppWork(uint32_t iter, uint32_t pages) {
-  for (uint32_t i = 0; i < pages; ++i) {
-    const uint32_t page = (iter * pages + i) % params_.app_footprint_pages;
-    kernel_.UserTouch(EffAddr(kHeapBase + page * kPageSize + 256), AccessKind::kLoad);
+  // The walk is contiguous modulo the footprint, so it is at most two page-grained runs.
+  uint32_t page = (iter * pages) % params_.app_footprint_pages;
+  uint32_t left = pages;
+  while (left > 0) {
+    const uint32_t chunk = std::min(left, params_.app_footprint_pages - page);
+    kernel_.UserTouchRun(EffAddr(kHeapBase + page * kPageSize + 256), kPageSize, chunk,
+                         AccessKind::kLoad);
+    page = (page + chunk) % params_.app_footprint_pages;
+    left -= chunk;
   }
   kernel_.UserExecute(16);
 }

@@ -53,10 +53,14 @@ MultiuserResult RunMultiuserWorkload(System& system, const MultiuserConfig& conf
           const FileId autosave = kernel.page_cache().CreateFile(4);
           for (uint32_t burst = 0; burst < 6; ++burst) {
             kernel.UserExecute(256);
-            for (uint32_t p = 0; p < config.editor_buffer_pages; p += 2) {
-              kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize + (burst % 16) * 64),
-                               rng.Chance(1, 4) ? AccessKind::kStore : AccessKind::kLoad);
-            }
+            // Keystroke burst over the resident buffer, emitted as page-grained runs: a
+            // load sweep of every other page, with every fourth touched page also stored
+            // (the dirty ratio the per-page random walk used to produce).
+            const EffAddr line(kUserDataBase + (burst % 16) * 64);
+            kernel.UserTouchRun(line, 2 * kPageSize, (config.editor_buffer_pages + 1) / 2,
+                                AccessKind::kLoad);
+            kernel.UserTouchRun(line, 8 * kPageSize, (config.editor_buffer_pages + 7) / 8,
+                                AccessKind::kStore);
           }
           kernel.FileWrite(autosave, 0, 2 * kPageSize, EffAddr(kUserDataBase));
           kernel.SimulateIoWait(Cycles(kernel.costs().disk_latency_cycles / 2));
@@ -74,12 +78,13 @@ MultiuserResult RunMultiuserWorkload(System& system, const MultiuserConfig& conf
                                     .text_file = cc_image});
           for (uint32_t pass = 0; pass < 3; ++pass) {
             kernel.UserExecute(1024);
-            for (uint32_t p = 0; p < config.compile_ws_pages; ++p) {
-              kernel.UserTouch(
-                  EffAddr(kUserDataBase + p * kPageSize +
-                          static_cast<uint32_t>(rng.NextBelow(64)) * 64),
-                  rng.Chance(1, 3) ? AccessKind::kStore : AccessKind::kLoad);
-            }
+            // Working-set churn as runs: a full load sweep at a per-pass line offset,
+            // then a store sweep over a third of the pages (the old per-page 1-in-3).
+            const uint32_t offset = static_cast<uint32_t>(rng.NextBelow(64)) * 64;
+            kernel.UserTouchRun(EffAddr(kUserDataBase + offset), kPageSize,
+                                config.compile_ws_pages, AccessKind::kLoad);
+            kernel.UserTouchRun(EffAddr(kUserDataBase + offset), 3 * kPageSize,
+                                (config.compile_ws_pages + 2) / 3, AccessKind::kStore);
           }
           const FileId object = kernel.page_cache().CreateFile(2);
           kernel.FileWrite(object, 0, 2 * kPageSize, EffAddr(kUserDataBase));

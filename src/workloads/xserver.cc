@@ -1,5 +1,6 @@
 #include "src/workloads/xserver.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/kernel/layout.h"
@@ -44,10 +45,9 @@ XServerResult RunXServerWorkload(System& system, const XServerConfig& config) {
       // Client: compute, then send a request.
       kernel.SwitchTo(clients[c]);
       kernel.UserExecute(256);
-      for (uint32_t p = 0; p < config.client_pages; p += 3) {
-        kernel.UserTouch(EffAddr(kUserDataBase + p * kPageSize + (round % 8) * 64),
-                         AccessKind::kLoad);
-      }
+      // One load every third page of the client's heap, as a single page-grained run.
+      kernel.UserTouchRun(EffAddr(kUserDataBase + (round % 8) * 64), 3 * kPageSize,
+                          (config.client_pages + 2) / 3, AccessKind::kLoad);
       kernel.PipeWrite(request_pipes[c], EffAddr(kUserDataBase), 64);
 
       // Server: receive, maybe draw, reply.
@@ -56,13 +56,17 @@ XServerResult RunXServerWorkload(System& system, const XServerConfig& config) {
       kernel.UserExecute(128);
       if (rng.Chance(config.draw_percent, 100)) {
         ++result.draws;
-        // Sweep scanlines: one store per line across pages_per_draw framebuffer pages.
-        for (uint32_t p = 0; p < config.pages_per_draw; ++p) {
-          const uint32_t page = (scanline_cursor + p) % (kFramebufferBytes / kPageSize);
-          for (uint32_t line = 0; line < 4; ++line) {
-            kernel.UserTouch(EffAddr::FromPage(fb_start + page, line * 1024),
-                             AccessKind::kStore);
-          }
+        // Sweep scanlines: one store per 1 KB line across pages_per_draw framebuffer
+        // pages, emitted as contiguous runs (split only where the aperture wraps).
+        const uint32_t fb_pages = kFramebufferBytes / kPageSize;
+        uint32_t page = scanline_cursor;
+        uint32_t left = config.pages_per_draw;
+        while (left > 0) {
+          const uint32_t chunk = std::min(left, fb_pages - page);
+          kernel.UserTouchRun(EffAddr::FromPage(fb_start + page), 1024, chunk * 4,
+                              AccessKind::kStore);
+          page = (page + chunk) % fb_pages;
+          left -= chunk;
         }
         scanline_cursor = (scanline_cursor + config.pages_per_draw) %
                           (kFramebufferBytes / kPageSize);

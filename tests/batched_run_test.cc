@@ -1,0 +1,172 @@
+// The batched-run contract: UserTouchRun / Mmu::AccessRun must be bit-identical to
+// issuing the same accesses one UserTouch at a time — across every fuzz preset, every
+// reload strategy, and with the host fast path on and off. The driven workload crosses
+// every boundary a translation span must not batch across: demand faults mid-run, COW
+// breaks mid-run, eager (tlbie) and lazy (VSID-bump) munmap flushes between runs, context
+// switches, sub-page strides, and deferred first-store C-bit traps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/kernel/layout.h"
+#include "src/verify/fuzz/differential.h"
+
+namespace ppcmm {
+namespace {
+
+void ExpectCountersIdentical(const HwCounters& single, const HwCounters& batched) {
+  single.ForEachField([&](const char* name, uint64_t value_single, bool) {
+    bool found = false;
+    batched.ForEachField([&](const char* batched_name, uint64_t value_batched, bool) {
+      if (std::string(name) == batched_name) {
+        EXPECT_EQ(value_single, value_batched) << name;
+        found = true;
+      }
+    });
+    EXPECT_TRUE(found) << name;
+  });
+  EXPECT_EQ(single.cycles, batched.cycles);
+}
+
+// Every touch in the workload goes through here: as one page-grained run, or unrolled
+// into the per-access calls the run claims to be equivalent to.
+void Touch(Kernel& kernel, bool batched, EffAddr start, uint32_t stride, uint32_t count,
+           AccessKind kind) {
+  if (batched) {
+    kernel.UserTouchRun(start, stride, count, kind);
+  } else {
+    for (uint32_t i = 0; i < count; ++i) {
+      kernel.UserTouch(start + i * stride, kind);
+    }
+  }
+}
+
+void DriveWorkload(System& sys, bool batched) {
+  Kernel& kernel = sys.kernel();
+  auto touch = [&](EffAddr start, uint32_t stride, uint32_t count, AccessKind kind) {
+    Touch(kernel, batched, start, stride, count, kind);
+  };
+  const TaskId a = kernel.CreateTask("a");
+  kernel.Exec(a, ExecImage{.text_pages = 4, .data_pages = 64, .stack_pages = 4});
+  kernel.SwitchTo(a);
+  // Demand-fault 32 pages inside one sub-page-stride run.
+  touch(EffAddr(kUserDataBase), 1024, 32 * 4, AccessKind::kStore);
+  // Re-stream part of the resident set at cache-line stride (pure span replay).
+  touch(EffAddr(kUserDataBase), 64, 8 * (kPageSize / 64), AccessKind::kLoad);
+  const TaskId child = kernel.Fork(a);
+  kernel.SwitchTo(child);
+  // Loads memoize the read-only shared translations, then the store run COW-breaks every
+  // page mid-run.
+  touch(EffAddr(kUserDataBase), kPageSize, 16, AccessKind::kLoad);
+  touch(EffAddr(kUserDataBase), kPageSize, 16, AccessKind::kStore);
+  const uint32_t map = kernel.Mmap(30);
+  touch(EffAddr::FromPage(map), 2048, 60, AccessKind::kStore);
+  kernel.Munmap(map, 30);  // above the cutoff: lazy VSID-bump context flush
+  const uint32_t map2 = kernel.Mmap(4);
+  touch(EffAddr::FromPage(map2), kPageSize, 4, AccessKind::kStore);
+  kernel.Munmap(map2, 4);  // below the cutoff: eager per-page tlbie flush
+  // Post-flush re-touch: spans must not survive the generation bumps above.
+  touch(EffAddr(kUserDataBase), kPageSize, 32, AccessKind::kLoad);
+  kernel.SwitchTo(a);
+  touch(EffAddr(kUserDataBase), 512, 16 * 8, AccessKind::kLoad);
+  kernel.Exit(child);
+  kernel.RunIdle(Cycles(20000));
+}
+
+// The reload-strategy axis, pinned the way RunDifferential pins it.
+struct StrategyCase {
+  const char* name;
+  MachineConfig machine;
+  bool direct_reload;
+};
+
+std::vector<StrategyCase> Strategies() {
+  return {
+      {"hw_walk", MachineConfig::Ppc604(185), false},
+      {"sw_htab", MachineConfig::Ppc603(80), false},
+      {"sw_direct", MachineConfig::Ppc603(80), true},
+  };
+}
+
+TEST(BatchedRunTest, BitIdenticalAcrossPresetsStrategiesAndFastPath) {
+  for (const FuzzPreset& preset : FuzzPresets()) {
+    for (const StrategyCase& s : Strategies()) {
+      OptimizationConfig config = preset.config;
+      config.no_htab_direct_reload = s.direct_reload;
+      for (const bool fast : {false, true}) {
+        SCOPED_TRACE(preset.name + "/" + s.name + (fast ? "/fast" : "/slow"));
+        System single(s.machine, config);
+        single.mmu().SetFastPathEnabled(fast);
+        DriveWorkload(single, /*batched=*/false);
+
+        System batched(s.machine, config);
+        batched.mmu().SetFastPathEnabled(fast);
+        DriveWorkload(batched, /*batched=*/true);
+
+        ExpectCountersIdentical(single.counters(), batched.counters());
+        // Per-access calls never form spans; batched runs only form them on the fast path.
+        EXPECT_EQ(single.mmu().span_accesses(), 0u);
+        if (fast) {
+          EXPECT_GT(batched.mmu().span_accesses(), 0u) << "spans never engaged";
+        } else {
+          EXPECT_EQ(batched.mmu().span_accesses(), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedRunTest, AttributionSumsBitExactlyUnderSpans) {
+  // CycleLedger conservation: with attribution on, batched and per-access runs charge the
+  // identical total, and that total equals the machine's clock advance over the window.
+  auto run = [](bool batched) {
+    System sys(MachineConfig::Ppc604(133), OptimizationConfig::AllOptimizations());
+    sys.machine().attr().SetEnabled(true);
+    const uint64_t start = sys.machine().Now().value;
+    DriveWorkload(sys, batched);
+    const uint64_t elapsed = sys.machine().Now().value - start;
+    uint64_t cell_sum = 0;
+    for (const CycleLedger::Cell& cell : sys.machine().attr().Cells()) {
+      cell_sum += cell.cycles;
+    }
+    return std::tuple<uint64_t, uint64_t, uint64_t>(
+        sys.machine().attr().TotalAttributed(), cell_sum, elapsed);
+  };
+  const auto [total_single, cells_single, elapsed_single] = run(false);
+  const auto [total_batched, cells_batched, elapsed_batched] = run(true);
+  EXPECT_EQ(total_single, total_batched);
+  EXPECT_EQ(cells_batched, total_batched);
+  EXPECT_EQ(cells_single, total_single);
+  EXPECT_EQ(elapsed_single, elapsed_batched);
+  EXPECT_EQ(total_batched, elapsed_batched);
+}
+
+TEST(BatchedRunTest, SpansCarryMostOfASteadyStateStream) {
+  // The perf claim behind the API: once a working set is resident, nearly every access in
+  // a page-grained run rides a span instead of a per-access memo probe.
+  System sys(MachineConfig::Ppc603(133), OptimizationConfig::OnlyDirectReload());
+  sys.mmu().SetFastPathEnabled(true);
+  Kernel& kernel = sys.kernel();
+  const TaskId t = kernel.CreateTask("t");
+  kernel.Exec(t, ExecImage{.text_pages = 2, .data_pages = 40, .stack_pages = 2});
+  kernel.SwitchTo(t);
+  kernel.UserTouchRun(EffAddr(kUserDataBase), 64, 32 * (kPageSize / 64),
+                      AccessKind::kStore);  // fault in
+  const uint64_t warm_spans = sys.mmu().span_accesses();
+  for (int pass = 0; pass < 4; ++pass) {
+    kernel.UserTouchRun(EffAddr(kUserDataBase), 64, 32 * (kPageSize / 64),
+                        AccessKind::kLoad);
+  }
+  const uint64_t stream_accesses = 4ull * 32 * (kPageSize / 64);
+  const uint64_t stream_spans = sys.mmu().span_accesses() - warm_spans;
+  EXPECT_GT(stream_spans, stream_accesses * 95 / 100)
+      << stream_spans << " of " << stream_accesses << " accesses rode spans";
+  // And each span covers many accesses: the whole point of translating once per page.
+  EXPECT_GT(sys.mmu().span_accesses() / sys.mmu().span_runs(), 16u);
+}
+
+}  // namespace
+}  // namespace ppcmm

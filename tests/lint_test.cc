@@ -109,6 +109,17 @@ TEST(MmuLintFixtures, HotPathRulesFireAtStagedLines) {
                 });
 }
 
+TEST(MmuLintFixtures, SpanValidityRulesFireAtStagedLines) {
+  // AccessRun in the hotpath fixture stages both forbidden span-validity inputs: pointer
+  // identity (reinterpret_cast) and wall-clock time (clock_gettime). The clean FastGen in
+  // mmu.h and the registered-but-clean run bodies must stay quiet.
+  ExpectExactly(RunFixture("hotpath", "SPAN"),
+                {
+                    {"src/mmu/mmu.cc", 23, "SPAN-GEN-027"},
+                    {"src/mmu/mmu.cc", 25, "SPAN-GEN-027"},
+                });
+}
+
 TEST(MmuLintFixtures, CounterRulesFireAtStagedLines) {
   // The fixture's tiny X-macro list is the source of truth, so the real tree's
   // hw.htab_hits must be flagged here; the markdown suppression must hold.

@@ -8,5 +8,14 @@ struct CleanMmu {
     return ea;
   }
   void InstallTlbEntry(unsigned ea) { last_ = ea; }
+  unsigned AccessRun(unsigned ea, unsigned n) {
+    // Span replay: valid only while the generation combiner matches the memo.
+    for (unsigned i = 0; i < n && gen_ == memo_gen_; ++i) {
+      last_ = ea + i;
+    }
+    return last_;
+  }
   unsigned last_ = 0;
+  unsigned gen_ = 0;
+  unsigned memo_gen_ = 0;
 };

@@ -3,6 +3,7 @@
 struct CleanTlb {
   const unsigned* LookupPtr(unsigned vp) const { return &entries_[vp & 63u]; }
   void TouchLru(unsigned vp) { lru_ = vp; }
+  void TouchLruRun(unsigned vp, unsigned n) { lru_ = vp + n; }
   unsigned entries_[64] = {};
   unsigned lru_ = 0;
 };

@@ -3,5 +3,7 @@
 struct CleanCache {
   unsigned AccessLine(unsigned line) const { return lines_[line & 7u]; }
   unsigned AccessUncached(unsigned line) const { return line; }
+  unsigned AccessLineRun(unsigned line, unsigned n) const { return lines_[(line + n) & 7u]; }
+  unsigned AccessUncachedRun(unsigned line, unsigned n) const { return line * n; }
   unsigned lines_[8] = {};
 };

@@ -2,5 +2,7 @@
 #include "src/sim/cache.h"
 struct CleanMachine {
   unsigned TouchData(unsigned ea) const { return ea + 1; }
+  unsigned TouchDataRun(unsigned ea, unsigned n) const { return ea + n; }
   unsigned TouchInstruction(unsigned ea) const { return ea + 2; }
+  unsigned TouchInstructionRun(unsigned ea, unsigned n) const { return ea + 2 * n; }
 };

@@ -1,6 +1,5 @@
-// Clean fixture stub.
-#include "src/sim/types.h"
-struct CleanMmuH {
+// Fixture: a clean span-validity generation combiner — sums counters, nothing else.
+struct FixtureMmuH {
   unsigned FastGen() const { return seg_gen_ + ibat_gen_ + dbat_gen_; }
   unsigned seg_gen_ = 0;
   unsigned ibat_gen_ = 0;

@@ -8,6 +8,8 @@ struct FixtureTlb {
   struct Backing {
     virtual unsigned WalkPte(unsigned vp) = 0;
   };
+  void TouchLruRun(unsigned vp, unsigned n) { lru_ = vp + n; }
   Backing* backing_ = nullptr;
   unsigned last_ = 0;
+  unsigned lru_ = 0;
 };

@@ -6,5 +6,7 @@ struct FixtureCache {
     return line;
   }
   unsigned AccessUncached(unsigned line) const { return line + history_.size(); }
+  unsigned AccessLineRun(unsigned line, unsigned n) const { return line + n; }
+  unsigned AccessUncachedRun(unsigned line, unsigned n) const { return line * n; }
   std::vector<unsigned> history_;
 };

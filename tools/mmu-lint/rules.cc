@@ -85,18 +85,59 @@ const std::vector<HotFunction>& HotFunctions() {
   // C-bit path legitimately calls MarkPteDirty, so only WalkPte is banned there.
   static const std::vector<HotFunction> kHot = {
       {"src/sim/machine.h", "Machine", "TouchData", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/machine.h", "Machine", "TouchDataRun", {"WalkPte", "MarkPteDirty"}},
       {"src/sim/machine.h", "Machine", "TouchInstruction", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/machine.h", "Machine", "TouchInstructionRun", {"WalkPte", "MarkPteDirty"}},
       {"src/sim/cache.h", "Cache", "AccessLine", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/cache.h", "Cache", "AccessLineRun", {"WalkPte", "MarkPteDirty"}},
       {"src/sim/cache.h", "Cache", "AccessUncached", {"WalkPte", "MarkPteDirty"}},
+      {"src/sim/cache.h", "Cache", "AccessUncachedRun", {"WalkPte", "MarkPteDirty"}},
       {"src/mmu/tlb.h", "Tlb", "LookupPtr", {"WalkPte", "MarkPteDirty"}},
       {"src/mmu/tlb.h", "Tlb", "TouchLru", {"WalkPte", "MarkPteDirty"}},
+      {"src/mmu/tlb.h", "Tlb", "TouchLruRun", {"WalkPte", "MarkPteDirty"}},
       {"src/mmu/hash_table.cc", "HashTable", "Search", {"WalkPte", "MarkPteDirty"}},
       {"src/mmu/mmu.cc", "Mmu", "Access", {"WalkPte"}},
+      {"src/mmu/mmu.cc", "Mmu", "AccessRun", {"WalkPte"}},
       {"src/mmu/mmu.cc", "Mmu", "Reload", {}},
       {"src/mmu/mmu.cc", "Mmu", "SoftwareRefill", {}},
       {"src/mmu/mmu.cc", "Mmu", "InstallTlbEntry", {"WalkPte", "MarkPteDirty"}},
   };
   return kHot;
+}
+
+const std::vector<HotFunction>& SpanValidityFunctions() {
+  // The two places a translation span is judged valid: the replay gate in AccessRun and
+  // the generation combiner every memo comparison keys off. banned_virtual is unused here
+  // (AccessRun's PTE-tree ban lives in its HotFunctions() entry).
+  static const std::vector<HotFunction> kSpan = {
+      {"src/mmu/mmu.cc", "Mmu", "AccessRun", {}},
+      {"src/mmu/mmu.h", "Mmu", "FastGen", {}},
+  };
+  return kSpan;
+}
+
+const std::vector<BannedIdent>& SpanValidityBans() {
+  static const std::vector<BannedIdent> kBans = {
+      {"SPAN-GEN-027", "reinterpret_cast", "pointer identity laundered into span validity",
+       "key validity off segment/BAT/TLB generation counters, never off addresses"},
+      {"SPAN-GEN-027", "uintptr_t", "pointer identity laundered into span validity",
+       "key validity off segment/BAT/TLB generation counters, never off addresses"},
+      {"SPAN-GEN-027", "intptr_t", "pointer identity laundered into span validity",
+       "key validity off segment/BAT/TLB generation counters, never off addresses"},
+      {"SPAN-GEN-027", "system_clock", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+      {"SPAN-GEN-027", "steady_clock", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+      {"SPAN-GEN-027", "high_resolution_clock", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+      {"SPAN-GEN-027", "clock_gettime", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+      {"SPAN-GEN-027", "gettimeofday", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+      {"SPAN-GEN-027", "timespec_get", "wall-clock time in span validity",
+       "spans invalidate via generation counters, not time"},
+  };
+  return kBans;
 }
 
 const std::vector<BannedIdent>& HotPathBans() {
@@ -205,6 +246,9 @@ std::vector<std::pair<std::string, std::string>> ListRules() {
                           "table says it does"},
       {"HOT-ATTR-026", "no direct MetricsRegistry/BenchReport/cycle-ledger access in hot "
                        "headers; attribution goes through CycleScope only"},
+      {"SPAN-GEN-027", "translation-span validity may key only off generation counters — "
+                       "no wall-clock reads or pointer-identity laundering in the "
+                       "registered span-validity bodies"},
       {"CNT-REF-030", "every hw.<name> reference must name a real HwCounters X-macro field"},
       {"CNT-FOREACH-031", "MetricsRegistry must publish hw counters via ForEachField, not a "
                           "hand-maintained list"},

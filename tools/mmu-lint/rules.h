@@ -73,6 +73,14 @@ const std::vector<HotFunction>& HotFunctions();
 // Globally banned inside every hot function body, with the rule that fires.
 const std::vector<BannedIdent>& HotPathBans();
 
+// SPAN-GEN-027: translation-span validity may key only off generation counters. The
+// registered span-validity bodies (Mmu::AccessRun's replay gate and the FastGen combiner
+// it compares against) must not consult wall-clock time or launder pointer identity into
+// validity state — a recycled TlbEntry at the same address must still invalidate the
+// span. Missing registered bodies fall under HOT-MISSING-025 like the hot functions.
+const std::vector<HotFunction>& SpanValidityFunctions();
+const std::vector<BannedIdent>& SpanValidityBans();
+
 // HOT-ATTR-026: hot-path headers (the LAYER-HOT-OBS-003 root set minus machine.h, which
 // owns the ledger and defines CycleScope) must not reach observability state directly —
 // no MetricsRegistry/BenchReport construction, no CycleLedger reference, no attr()
