@@ -81,12 +81,12 @@ fi
 
 if [ "$quick" = 1 ]; then
   export PPCMM_QUICK=1
-  benches="table1_direct_reload host_throughput"
+  benches="table1_direct_reload smp_shootdown host_throughput"
 else
   benches="table1_direct_reload table2_range_flush table3_os_comparison \
     sec5_bat_footprint sec5_hash_utilization sec5_io_bat sec6_fast_reload \
     sec7_idle_reclaim sec8_pagetable_cache sec9_idle_page_clear \
-    ablation_interactions multiuser_scaling host_throughput"
+    ablation_interactions multiuser_scaling smp_shootdown host_throughput"
 fi
 
 failed=0
@@ -114,6 +114,21 @@ if [ "$quick" = 1 ]; then
   else
     echo "note: build-tsan/tests/sweep_runner_test not built; for the TSan pass run:" >&2
     echo "  cmake --preset tsan && cmake --build --preset tsan --target sweep_runner_test" >&2
+  fi
+
+  # ncpus=4 TSan pass: the pooled SMP shootdown-storm sweep runs 4-CPU Systems on a thread
+  # pool; TSan proves the per-System confinement holds for the multi-CPU machine state
+  # (per-CPU TLBs, local clocks, IPI bookkeeping) exactly as it does for uniprocessors.
+  smp_tsan="$repo_root/build-tsan/tests/machine_sweep_test"
+  if [ -x "$smp_tsan" ]; then
+    echo "==> machine_sweep_test SMP storm (tsan, ncpus=4)"
+    if ! "$smp_tsan" --gtest_filter='*SmpShootdownStorm*' > "$out_dir/smp_storm_tsan.txt" 2>&1; then
+      echo "FAILED: SMP shootdown storm under tsan (log: $out_dir/smp_storm_tsan.txt)" >&2
+      failed=1
+    fi
+  else
+    echo "note: build-tsan/tests/machine_sweep_test not built; for the ncpus=4 TSan pass run:" >&2
+    echo "  cmake --preset tsan && cmake --build --preset tsan --target machine_sweep_test" >&2
   fi
 
   # Differential fuzz pass: fixed base seed, wall-clock bounded, every preset x strategy x

@@ -2,8 +2,8 @@
 // the architectural reference oracle, across every optimization preset, reload strategy
 // and fast-path setting.
 //
-//   fuzz [--seed N] [--ops N] [--preset NAME] [--check-period N] [--max-seconds S]
-//        [--minimize] [--out FILE] [--replay FILE] [--break-flush]
+//   fuzz [--seed N] [--ops N] [--ncpus N] [--preset NAME] [--check-period N]
+//        [--max-seconds S] [--minimize] [--out FILE] [--replay FILE] [--break-flush]
 //
 // Default: one stream (--seed, --ops) through the full matrix (14 presets x 3 reload
 // strategies x fast path on/off). With --max-seconds the seed keeps incrementing until the
@@ -63,6 +63,7 @@ std::string ReadFileOrDie(const std::string& path) {
 int main(int argc, char** argv) {
   uint64_t seed = 1;
   uint32_t ops = 20000;
+  uint32_t ncpus = 1;
   uint32_t check_period = 2000;
   uint64_t max_seconds = 0;
   bool minimize = false;
@@ -94,6 +95,12 @@ int main(int argc, char** argv) {
       seed = ParseNum("--seed", next());
     } else if (arg == "--ops") {
       ops = static_cast<uint32_t>(ParseNum("--ops", next()));
+    } else if (arg == "--ncpus") {
+      ncpus = static_cast<uint32_t>(ParseNum("--ncpus", next()));
+      if (ncpus == 0) {
+        std::fprintf(stderr, "--ncpus wants at least 1 CPU\n");
+        return 2;
+      }
     } else if (arg == "--check-period") {
       check_period = static_cast<uint32_t>(ParseNum("--check-period", next()));
     } else if (arg == "--max-seconds") {
@@ -110,9 +117,9 @@ int main(int argc, char** argv) {
       break_flush = true;
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz [--seed N] [--ops N] [--preset NAME] [--check-period N]\n"
-                   "            [--max-seconds S] [--minimize] [--out FILE] [--replay FILE]\n"
-                   "            [--break-flush]\n");
+                   "usage: fuzz [--seed N] [--ops N] [--ncpus N] [--preset NAME]\n"
+                   "            [--check-period N] [--max-seconds S] [--minimize]\n"
+                   "            [--out FILE] [--replay FILE] [--break-flush]\n");
       return 2;
     }
   }
@@ -155,7 +162,8 @@ int main(int argc, char** argv) {
   const auto run_stream = [&](const ppcmm::FuzzStream& stream) -> int {
     for (const ppcmm::FuzzPreset& preset : presets) {
       const ppcmm::MatrixResult matrix =
-          ppcmm::RunMatrix(stream, preset.config, preset.name, check_period, break_flush);
+          ppcmm::RunMatrix(stream, preset.config, preset.name, check_period, break_flush,
+                           ncpus);
       matrix_runs += matrix.runs;
       coverage.Merge(matrix.coverage);
       if (!matrix.diverged) {
@@ -211,7 +219,11 @@ int main(int argc, char** argv) {
       std::printf("seed %llu: %u ops across %zu preset(s) x 6 combos\n",
                   static_cast<unsigned long long>(seed), ops, presets.size());
       std::fflush(stdout);
-      if (const int status = run_stream(ppcmm::GenerateStream(seed, ops)); status != 0) {
+      // At ncpus > 1 the SMP generator mixes in cpu-switch ops so tasks actually migrate;
+      // at ncpus=1 the standard generator keeps every historical (seed, ops) stream intact.
+      const ppcmm::FuzzStream stream = ncpus > 1 ? ppcmm::GenerateSmpStream(seed, ops)
+                                                 : ppcmm::GenerateStream(seed, ops);
+      if (const int status = run_stream(stream); status != 0) {
         return status;
       }
       ++seed;

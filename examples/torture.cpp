@@ -1,6 +1,6 @@
 // Torture-harness driver: run the seed-replayable MMU fuzzer from the command line.
 //
-//   torture [--seed N] [--ops N] [--strategy hw|sw|direct] [--audit-period N]
+//   torture [--seed N] [--ops N] [--ncpus N] [--strategy hw|sw|direct] [--audit-period N]
 //           [--ram-mb N] [--faults] [--break-flush] [--fixed-config]
 //           [--trace-out FILE] [--metrics-out FILE]
 //
@@ -76,6 +76,12 @@ int main(int argc, char** argv) {
       options.ops = static_cast<uint32_t>(ParseNum("--ops", next()));
     } else if (arg == "--audit-period") {
       options.audit_period = static_cast<uint32_t>(ParseNum("--audit-period", next()));
+    } else if (arg == "--ncpus") {
+      options.ncpus = static_cast<uint32_t>(ParseNum("--ncpus", next()));
+      if (options.ncpus == 0) {
+        std::fprintf(stderr, "--ncpus wants at least 1 CPU\n");
+        return 2;
+      }
     } else if (arg == "--ram-mb") {
       options.ram_bytes = ParseNum("--ram-mb", next()) * 1024 * 1024;
     } else if (arg == "--strategy") {
@@ -107,8 +113,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("torture: seed=%llu ops=%u strategy=%s audit-period=%u\n",
+  std::printf("torture: seed=%llu ops=%u ncpus=%u strategy=%s audit-period=%u\n",
               static_cast<unsigned long long>(options.seed), options.ops,
+              options.ncpus == 0 ? 1 : options.ncpus,
               ppcmm::ReloadStrategyName(options.strategy), options.audit_period);
   const ppcmm::TortureResult result = ppcmm::RunTorture(options);
   std::printf("config: %s\n", result.config_desc.c_str());

@@ -5,6 +5,7 @@ namespace ppcmm {
 void FlushEngine::FlushPage(Mm& mm, EffAddr ea) {
   CycleScope flush_scope(mmu_.machine(), AttrCause::kRangeFlushEager);
   EagerFlushPage(mm, ea);
+  ShootdownRound(ea);
 }
 
 void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
@@ -27,6 +28,13 @@ void FlushEngine::FlushRange(Mm& mm, uint32_t start_page, uint32_t page_count,
   for (uint32_t i = 0; i < page_count; ++i) {
     EagerFlushPage(mm, EffAddr::FromPage(start_page + i));
   }
+  // One shootdown round covers the whole range: a single page is invalidated remotely by
+  // page, anything larger costs the remote CPUs one full tlbia each (flush_tlb_range-style).
+  if (page_count == 1) {
+    ShootdownRound(EffAddr::FromPage(start_page));
+  } else {
+    ShootdownRound(std::nullopt);
+  }
   machine.RecordLatency(LatencyProbe::kRangeFlushEager, flush_start);
 }
 
@@ -39,6 +47,7 @@ void FlushEngine::FlushContext(Mm& mm, bool mm_is_current) {
   // Eager: flush every present page individually — the cost the lazy scheme eliminates.
   CycleScope flush_scope(mmu_.machine(), AttrCause::kRangeFlushEager);
   mm.page_table->ForEachPresent([&](EffAddr ea, const LinuxPte&) { EagerFlushPage(mm, ea); });
+  ShootdownRound(std::nullopt);
 }
 
 void FlushEngine::EagerFlushPage(Mm& mm, EffAddr ea) {
@@ -90,6 +99,71 @@ void FlushEngine::LazyFlushContext(Mm& mm, bool mm_is_current) {
   mmu_.machine().AddCycles(Cycles(12 + (mm_is_current ? kNumSegments * 2 : 0)));
   if (mm_is_current) {
     mmu_.segments().LoadAll(vsids_.SegmentImage(mm.context));
+  }
+}
+
+void FlushEngine::ShootdownRound(const std::optional<EffAddr>& page) {
+  if (smp_ == nullptr || smp_->ncpus <= 1) {
+    return;
+  }
+  Machine& machine = mmu_.machine();
+  const MachineConfig& config = machine.config();
+  HwCounters& counters = machine.counters();
+  CycleScope shootdown_scope(machine, AttrCause::kTlbShootdown);
+  ++counters.tlb_shootdown_requests;
+  for (uint32_t cpu = 0; cpu < smp_->ncpus; ++cpu) {
+    if (cpu == smp_->current_cpu) {
+      continue;  // the local TLB was already invalidated by the eager flush itself
+    }
+    if (smp_->idle[cpu] != 0) {
+      // The cpu_idle_wait idiom: an idle CPU runs no user code, so instead of an IPI it is
+      // marked flush-pending and runs one whole-TLB flush when it next schedules a task.
+      smp_->flush_pending[cpu] = 1;
+      ++counters.tlb_shootdown_idle_skips;
+      continue;
+    }
+    ++counters.tlb_shootdown_ipis;
+    // The requester raises the IPI and spins for the acknowledgement; the remote CPU takes
+    // the interrupt and runs the invalidation (tlbie or tlbia plus sync, 32 cycles).
+    machine.AddCycles(Cycles(config.ipi_send_cycles));
+    machine.AddCyclesOn(cpu, Cycles(config.ipi_receive_cycles + 32));
+    if (broken_shootdown_) {
+      continue;  // test-only: the IPI lands but the handler forgets the invalidation
+    }
+    if (page.has_value()) {
+      mmu_.ShootdownInvalidatePage(cpu, *page);
+    } else {
+      mmu_.ShootdownInvalidateAll(cpu);
+    }
+  }
+}
+
+void FlushEngine::RunDeferredFlush(uint32_t cpu) {
+  if (smp_ == nullptr || smp_->flush_pending[cpu] == 0) {
+    return;
+  }
+  smp_->flush_pending[cpu] = 0;
+  Machine& machine = mmu_.machine();
+  CycleScope shootdown_scope(machine, AttrCause::kTlbShootdown);
+  ++machine.counters().tlb_shootdown_deferred_flushes;
+  // The spotlight is already on `cpu`, so the tlbia cost lands on its local clock.
+  machine.AddCycles(Cycles(32));
+  mmu_.ShootdownInvalidateAll(cpu);
+}
+
+void FlushEngine::RolloverInvalidateAll() {
+  mmu_.TlbInvalidateAll();
+  if (smp_ == nullptr || smp_->ncpus <= 1) {
+    return;
+  }
+  Machine& machine = mmu_.machine();
+  for (uint32_t cpu = 0; cpu < smp_->ncpus; ++cpu) {
+    smp_->flush_pending[cpu] = 0;  // every TLB is empty after this sweep; no debts remain
+    if (cpu == smp_->current_cpu) {
+      continue;
+    }
+    machine.AddCyclesOn(cpu, Cycles(32));
+    mmu_.ShootdownInvalidateAll(cpu);
   }
 }
 

@@ -11,6 +11,10 @@
 #ifndef PPCMM_SRC_KERNEL_FLUSH_H_
 #define PPCMM_SRC_KERNEL_FLUSH_H_
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "src/kernel/mm.h"
 #include "src/kernel/opt_config.h"
 #include "src/kernel/vsid_space.h"
@@ -18,11 +22,28 @@
 
 namespace ppcmm {
 
+// SMP bookkeeping shared between the kernel (which owns it and keeps it current) and the
+// flush engine (which reads it to run TLB shootdown). One entry per simulated CPU.
+struct SmpState {
+  uint32_t ncpus = 1;
+  uint32_t current_cpu = 0;
+  // 1 = the CPU runs no user context (nothing scheduled): shootdowns skip it, deferring
+  // the invalidation to its next switch-in (the cpu_idle_wait idiom).
+  std::vector<uint8_t> idle;
+  // 1 = the CPU owes a deferred whole-TLB flush. Its TLB content is logically invalid —
+  // the tlbia runs when the execution spotlight next moves there.
+  std::vector<uint8_t> flush_pending;
+};
+
 // Executes flushes against the MMU on behalf of the kernel.
 class FlushEngine {
  public:
   FlushEngine(Mmu& mmu, VsidSpace& vsids, const OptimizationConfig& config)
       : mmu_(mmu), vsids_(vsids), config_(config) {}
+
+  // Wires up the kernel-owned SMP state. Unset (or ncpus == 1) disables every cross-CPU
+  // path, leaving the uniprocessor behavior bit-identical.
+  void SetSmp(SmpState* smp) { smp_ = smp; }
 
   // Flushes one user page of `mm`. Always eager (a single page never hits the cutoff).
   void FlushPage(Mm& mm, EffAddr ea);
@@ -35,21 +56,45 @@ class FlushEngine {
   // Flushes every translation of `mm` (exec, exit).
   void FlushContext(Mm& mm, bool mm_is_current);
 
+  // Runs the deferred whole-TLB flush CPU `cpu` owes, if any. Called by the kernel right
+  // after the execution spotlight moves to `cpu`, so the tlbia cost lands on that CPU.
+  void RunDeferredFlush(uint32_t cpu);
+
+  // VSID epoch rollover support: invalidates every CPU's TLBs (the local one through the
+  // ordinary counted tlbia, remote ones directly — the rollover is a stop-the-world event,
+  // not an IPI round) and clears all deferred-flush debts, since every TLB is now empty.
+  void RolloverInvalidateAll();
+
   // Test-only sabotage: when set, EagerFlushPage skips the tlbie — the HTAB entry goes but
   // the TLB keeps the stale translation. Exists so the coherence auditor's detection of a
   // broken flush can itself be tested; never enable outside a test.
   void TestOnlyBreakTlbInvalidate(bool broken) { broken_tlb_invalidate_ = broken; }
+
+  // Test-only sabotage: when set, ShootdownRound still sends every IPI (cycles and counters
+  // unchanged) but the remote handler "forgets" its invalidation, leaving stale entries in
+  // remote TLBs. Unlike a broken local tlbie this is only reachable when a task has built
+  // TLB state on one CPU and then flushes from another — exactly the cross-CPU window the
+  // fuzzer's SMP checks exist to cover. Never enable outside a test.
+  void TestOnlyBreakShootdown(bool broken) { broken_shootdown_ = broken; }
 
  private:
   // The eager per-page path: HTAB search-and-invalidate plus tlbie.
   void EagerFlushPage(Mm& mm, EffAddr ea);
   // The lazy path: retire the VSIDs, draw a fresh context.
   void LazyFlushContext(Mm& mm, bool mm_is_current);
+  // One cross-CPU TLB shootdown round (the smp_call_function idiom): every busy remote CPU
+  // takes an IPI and invalidates — `page` alone when set, its whole TLB otherwise; every
+  // idle remote CPU is skipped and marked flush-pending instead. The lazy VSID-bump path
+  // never calls this: retired VSIDs are unreachable on every CPU, so remote zombie TLB
+  // entries are harmless — the paper's trick eliminates shootdowns outright.
+  void ShootdownRound(const std::optional<EffAddr>& page);
 
   Mmu& mmu_;
   VsidSpace& vsids_;
   const OptimizationConfig& config_;
+  SmpState* smp_ = nullptr;
   bool broken_tlb_invalidate_ = false;
+  bool broken_shootdown_ = false;
 };
 
 }  // namespace ppcmm

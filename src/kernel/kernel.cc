@@ -62,6 +62,11 @@ Kernel::Kernel(Machine& machine, const OptimizationConfig& config, const KernelC
       page_cache_(machine, mem_) {
   framebuffer_first_frame_ =
       static_cast<uint32_t>(machine.memory().num_frames()) - kFramebufferBytes / kPageSize;
+  smp_.ncpus = machine.ncpus();
+  smp_.idle.assign(smp_.ncpus, 1);  // nothing is scheduled anywhere at boot
+  smp_.flush_pending.assign(smp_.ncpus, 0);
+  cpu_current_.assign(smp_.ncpus, TaskId{0});
+  flusher_.SetSmp(&smp_);
   mmu_->SetBacking(this);
   mmu_->SetVsidOracle(&vsids_);
   mem_.SetReclaimHook([this](uint32_t target) { return page_cache_.ReclaimPages(target); });
@@ -96,7 +101,7 @@ void Kernel::HandleVsidRollover() {
   ++machine_.counters().vsid_epoch_rollovers;
   machine_.Trace(TraceEvent::kVsidEpochRollover,
                  static_cast<uint32_t>(machine_.counters().vsid_epoch_rollovers));
-  mmu_->TlbInvalidateAll();
+  flusher_.RolloverInvalidateAll();
   if (mmu_->policy().UsesHtab()) {
     mmu_->htab().InvalidateMatching(
         [](const HashedPte& pte) { return !VsidSpace::IsKernelVsid(pte.vsid); }, nullptr);
@@ -113,8 +118,12 @@ void Kernel::HandleVsidRollover() {
     vsids_.Retire(mm.context);
     mm.context = vsids_.NewContext();
   }
-  if (current_.value != 0) {
-    mmu_->segments().LoadUserSegments(vsids_.SegmentImage(CurrentTask().mm->context));
+  // Every CPU whose current task just moved to a new context must see the fresh VSIDs.
+  for (uint32_t cpu = 0; cpu < smp_.ncpus; ++cpu) {
+    const TaskId cur = cpu_current_[cpu];
+    if (cur.value != 0 && tasks_.contains(cur.value)) {
+      mmu_->segments(cpu).LoadUserSegments(vsids_.SegmentImage(task(cur).mm->context));
+    }
   }
 }
 
@@ -184,12 +193,15 @@ void Kernel::SetupKernelTranslation() {
     mmu_->dbats().Set(0, bat);
   }
 
-  // Kernel segments always hold the fixed kernel VSIDs; user segments start vacant.
+  // Kernel segments always hold the fixed kernel VSIDs; user segments start vacant. Every
+  // CPU boots with the same image — on real hardware each CPU's startup code loads it.
   std::array<Vsid, kNumSegments> image{};
   for (uint32_t seg = kFirstKernelSegment; seg < kNumSegments; ++seg) {
     image[seg] = VsidSpace::KernelVsid(seg);
   }
-  mmu_->segments().LoadAll(image);
+  for (uint32_t cpu = 0; cpu < smp_.ncpus; ++cpu) {
+    mmu_->segments(cpu).LoadAll(image);
+  }
 }
 
 // ---- process management ----
@@ -222,6 +234,10 @@ Task& Kernel::CurrentTask() {
 void Kernel::SwitchTo(TaskId id) {
   Task& next = task(id);
   PPCMM_CHECK_MSG(next.state != TaskState::kZombie, "switching to a zombie task");
+  for (uint32_t cpu = 0; cpu < smp_.ncpus; ++cpu) {
+    PPCMM_CHECK_MSG(cpu == smp_.current_cpu || cpu_current_[cpu] != id,
+                    "task " << id.value << " is already running on CPU " << cpu);
+  }
   TaskId previous{};
   {
     // The attribution scope must close before switch_hook_ runs: a cooperative harness may
@@ -272,6 +288,8 @@ void Kernel::SwitchTo(TaskId id) {
     ++next.obs.switches_in;
     previous = current_;
     current_ = id;
+    cpu_current_[smp_.current_cpu] = id;
+    smp_.idle[smp_.current_cpu] = 0;
     machine_.trace().SetCurrentTask(id.value);
     machine_.attr().SetCurrentTask(id.value);
   }
@@ -282,6 +300,24 @@ void Kernel::SwitchTo(TaskId id) {
     // Must be the last action: a cooperative harness may park this call stack here.
     switch_hook_(previous, id);
   }
+}
+
+void Kernel::SwitchCpu(uint32_t cpu) {
+  PPCMM_CHECK_MSG(cpu < smp_.ncpus, "SwitchCpu to CPU " << cpu << " of " << smp_.ncpus);
+  if (cpu == smp_.current_cpu) {
+    return;
+  }
+  // Pure spotlight move in the serialized interleaving model: redirect the machine's hot
+  // paths, the MMU's bank, and the task bookkeeping at `cpu`. No simulated cycles — the
+  // CPUs were always all "running"; the simulation just models one at a time.
+  smp_.current_cpu = cpu;
+  machine_.SetCurrentCpu(cpu);
+  mmu_->SetCurrentCpu(cpu);
+  current_ = cpu_current_[cpu];
+  machine_.trace().SetCurrentTask(current_.value);
+  machine_.attr().SetCurrentTask(current_.value);
+  // Any whole-TLB flush this CPU skipped while idle runs now, before it touches anything.
+  flusher_.RunDeferredFlush(cpu);
 }
 
 TaskId Kernel::Fork(TaskId parent_id) {
@@ -428,11 +464,18 @@ void Kernel::Exit(TaskId id) {
     ReleaseFrame(pte.frame);
   }
 
-  if (current_ == id) {
-    current_ = TaskId{0};
-    machine_.trace().SetCurrentTask(0);
-    machine_.attr().SetCurrentTask(0);
+  for (uint32_t cpu = 0; cpu < smp_.ncpus; ++cpu) {
+    if (cpu_current_[cpu] == id) {
+      cpu_current_[cpu] = TaskId{0};
+      smp_.idle[cpu] = 1;
+      if (cpu == smp_.current_cpu) {
+        current_ = TaskId{0};
+        machine_.trace().SetCurrentTask(0);
+        machine_.attr().SetCurrentTask(0);
+      }
+    }
   }
+  scheduler_.ClearAffinity(id);
   scheduler_.Remove(id);
   for (auto& [pipe_id, pipe] : pipes_) {
     pipe.readers.Remove(id);
@@ -584,8 +627,15 @@ void Kernel::ForEachLiveTranslation(const std::function<void(const LiveTranslati
       fn(*lt);
     });
   };
-  visit_tlb(mmu_->itlb(), LiveTranslation::Tier::kItlb);
-  visit_tlb(mmu_->dtlb(), LiveTranslation::Tier::kDtlb);
+  for (uint32_t cpu = 0; cpu < smp_.ncpus; ++cpu) {
+    if (smp_.flush_pending[cpu] != 0) {
+      // The CPU owes a deferred whole-TLB flush: its TLB content is logically invalid and
+      // will be wiped before anything runs there, so nothing in it counts as live.
+      continue;
+    }
+    visit_tlb(mmu_->itlb(cpu), LiveTranslation::Tier::kItlb);
+    visit_tlb(mmu_->dtlb(cpu), LiveTranslation::Tier::kDtlb);
+  }
   if (mmu_->policy().UsesHtab()) {
     const HashTable& htab = mmu_->htab();
     for (uint32_t pteg = 0; pteg < htab.num_ptegs(); ++pteg) {
@@ -803,7 +853,7 @@ uint32_t Kernel::PipeRead(uint32_t pipe_id, EffAddr user_dst, uint32_t length) {
 // ---- cooperative scheduling ----
 
 void Kernel::Yield() {
-  const std::optional<TaskId> next = scheduler_.PickNext();
+  const std::optional<TaskId> next = scheduler_.PickNextFor(smp_.current_cpu);
   if (!next.has_value() || *next == current_) {
     return;
   }
@@ -815,7 +865,7 @@ void Kernel::BlockCurrentOn(WaitQueue& queue) {
   current.state = TaskState::kBlocked;
   scheduler_.Remove(current.id);
   queue.Add(current.id);
-  const std::optional<TaskId> next = scheduler_.PickNext();
+  const std::optional<TaskId> next = scheduler_.PickNextFor(smp_.current_cpu);
   PPCMM_CHECK_MSG(next.has_value(),
                   "deadlock: task " << current.id.value
                                     << " blocked with nothing runnable to wake it");

@@ -120,6 +120,22 @@ class Kernel : public PteBackingSource {
   // Context switch to `task` (which must exist and not be a zombie).
   void SwitchTo(TaskId task);
 
+  // ---- SMP ----
+
+  // Moves the execution spotlight to `cpu`: subsequent kernel calls, user touches, and
+  // flushes run as that CPU, against its TLBs, caches, and segment registers. Each CPU
+  // remembers its own current task. Charges nothing except any deferred whole-TLB flush
+  // the CPU owes from shootdowns it skipped while idle (run here, on its own clock).
+  void SwitchCpu(uint32_t cpu);
+  uint32_t current_cpu() const { return smp_.current_cpu; }
+  uint32_t ncpus() const { return smp_.ncpus; }
+  // The task running on `cpu` ({0} = none: the CPU sits in its idle loop).
+  TaskId CurrentOn(uint32_t cpu) const { return cpu_current_[cpu]; }
+  // True while `cpu` owes a deferred whole-TLB flush: its TLB content is logically
+  // invalidated, the tlbia runs at its next switch-in. The auditor tolerates (and counts)
+  // stale entries only on such CPUs.
+  bool FlushPendingOn(uint32_t cpu) const { return smp_.flush_pending[cpu] != 0; }
+
   TaskId current() const { return current_; }
   Task& task(TaskId id);
   bool TaskExists(TaskId id) const { return tasks_.contains(id.value); }
@@ -324,6 +340,10 @@ class Kernel : public PteBackingSource {
   uint32_t next_pipe_ = 1;
   uint32_t framebuffer_first_frame_ = 0;
   TaskId current_{0};
+  // SMP bookkeeping: per-CPU idle/flush-pending flags (shared with the flush engine) and
+  // per-CPU current tasks. Invariant: cpu_current_[smp_.current_cpu] == current_.
+  SmpState smp_;
+  std::vector<TaskId> cpu_current_;
   uint64_t idle_rr_cursor_ = 0;
   FaultInjector* injector_ = nullptr;
 };

@@ -10,6 +10,7 @@
 #define PPCMM_SRC_KERNEL_SCHEDULER_H_
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_set>
 
@@ -72,12 +73,40 @@ class Scheduler {
     return task;
   }
 
+  // SMP variant: pops the longest-queued task allowed to run on `cpu`. A task with no
+  // affinity runs anywhere; with no affinities set at all this is exactly PickNext(), so
+  // the uniprocessor scheduling order is untouched.
+  std::optional<TaskId> PickNextFor(uint32_t cpu) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const auto aff = affinity_.find(it->value);
+      if (aff != affinity_.end() && aff->second != cpu) {
+        continue;
+      }
+      const TaskId task = *it;
+      queue_.erase(it);
+      queued_.erase(task.value);
+      return task;
+    }
+    return std::nullopt;
+  }
+
+  // Pins `task` to `cpu`: PickNextFor on any other CPU skips it. Affinity survives
+  // blocking and waking; ClearAffinity (or task exit) lifts the pin.
+  void SetAffinity(TaskId task, uint32_t cpu) { affinity_[task.value] = cpu; }
+  void ClearAffinity(TaskId task) { affinity_.erase(task.value); }
+  std::optional<uint32_t> AffinityOf(TaskId task) const {
+    const auto it = affinity_.find(task.value);
+    return it == affinity_.end() ? std::nullopt : std::optional<uint32_t>(it->second);
+  }
+
   bool IsQueued(TaskId task) const { return queued_.contains(task.value); }
   uint32_t RunnableCount() const { return static_cast<uint32_t>(queue_.size()); }
 
  private:
   std::deque<TaskId> queue_;
   std::unordered_set<uint32_t> queued_;
+  // task id -> pinned CPU. std::map keeps any future iteration deterministic.
+  std::map<uint32_t, uint32_t> affinity_;
 };
 
 }  // namespace ppcmm

@@ -62,8 +62,10 @@ void Mmu::SetFastPathEnabled(bool enabled) {
 }
 
 void Mmu::FastPathInvalidate() {
-  for (auto& side : fast_slots_) {
-    side.fill(FastSlot{});
+  for (auto& bank : banks_) {
+    for (auto& side : bank->fast_slots) {
+      side.fill(FastSlot{});
+    }
   }
 }
 
@@ -71,9 +73,14 @@ Mmu::Mmu(Machine& machine, const MmuPolicy& policy, PhysAddr htab_base)
     : machine_(machine),
       policy_(policy),
       htab_(machine.config().htab_ptegs, htab_base),
-      itlb_("itlb", machine.config().itlb_entries, machine.config().tlb_associativity),
-      dtlb_("dtlb", machine.config().dtlb_entries, machine.config().tlb_associativity),
-      fast_path_enabled_(FastPathDefault()) {}
+      fast_path_enabled_(FastPathDefault()) {
+  const uint32_t ncpus = std::max(1u, machine.config().ncpus);
+  banks_.reserve(ncpus);
+  for (uint32_t cpu = 0; cpu < ncpus; ++cpu) {
+    banks_.push_back(std::make_unique<CpuBank>(machine.config()));
+  }
+  bank_ = banks_[0].get();
+}
 
 AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   const bool supervisor = ea.IsKernel();
@@ -92,7 +99,7 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
   const bool is_ifetch = IsInstruction(kind);
   const bool is_write = IsWrite(kind);
   const uint32_t epn = ea.EffPageNumber();
-  FastSlot& slot = fast_slots_[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
+  FastSlot& slot = bank_->fast_slots[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
 
   // Host fast path: replay the memoized outcome for this page when nothing it depends on
   // has changed. Everything up to the commit point is a pure read — a rejected memo must
@@ -121,7 +128,7 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
       // lookup would hit it; the write gate guarantees no protection fault and no pending
       // C-bit work. Replay the lookup's side effects and charge the payload access.
       ++fast_hits_;
-      Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+      Tlb& tlb = is_ifetch ? bank_->itlb : bank_->dtlb;
       if (is_ifetch) {
         ++counters.itlb_accesses;
       } else {
@@ -162,8 +169,8 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
     return AccessOutcome::kOk;
   }
 
-  const VirtPage vp = segments_.Resolve(ea);
-  Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+  const VirtPage vp = bank_->segments.Resolve(ea);
+  Tlb& tlb = is_ifetch ? bank_->itlb : bank_->dtlb;
   if (is_ifetch) {
     ++counters.itlb_accesses;
   } else {
@@ -205,7 +212,7 @@ AccessOutcome Mmu::Access(EffAddr ea, AccessKind kind) {
     if (backing_ != nullptr) {
       backing_->MarkPteDirty(ea, pt_charger);
     }
-    dtlb_.MarkChanged(vp);  // sets entry->changed: stores only ever come through the DTLB
+    bank_->dtlb.MarkChanged(vp);  // sets entry->changed: stores only come through the DTLB
   }
 
   if (fast_path_enabled_) {
@@ -241,7 +248,7 @@ uint32_t Mmu::AccessRun(EffAddr ea, uint32_t stride, uint32_t count, AccessKind 
     // counters, LRU ticks) feeds back into the generation counters or the entry tag.
     if (fast_path_enabled_ && injector_ == nullptr) {
       const uint32_t epn = cur.EffPageNumber();
-      FastSlot& slot = fast_slots_[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
+      FastSlot& slot = bank_->fast_slots[is_ifetch ? 1 : 0][epn & (kFastPathSlots - 1)];
       if (slot.eff_page == epn && slot.gen == FastGen()) {
         const uint32_t offset = cur.PageOffset();
         const uint32_t in_page = (kPageSize - 1 - offset) / stride + 1;
@@ -270,7 +277,7 @@ uint32_t Mmu::AccessRun(EffAddr ea, uint32_t stride, uint32_t count, AccessKind 
           ++span_runs_;
           span_accesses_ += n;
           fast_hits_ += n;
-          Tlb& tlb = is_ifetch ? itlb_ : dtlb_;
+          Tlb& tlb = is_ifetch ? bank_->itlb : bank_->dtlb;
           if (is_ifetch) {
             counters.itlb_accesses += n;
           } else {
@@ -304,7 +311,7 @@ std::optional<PhysAddr> Mmu::Probe(EffAddr ea, AccessKind kind) const {
   if (const std::optional<BatHit> hit = bats.Translate(ea, supervisor); hit.has_value()) {
     return hit->pa;
   }
-  const VirtPage vp = segments_.Resolve(ea);
+  const VirtPage vp = bank_->segments.Resolve(ea);
   // Probe the TLB without touching LRU state by scanning the HTAB and backing instead: the
   // TLB is a pure cache of those, so consult the HTAB copy first, then the backing source.
   NullMemCharger null_charger;
@@ -478,17 +485,17 @@ void Mmu::InstallTlbEntry(EffAddr ea, VirtPage vp, const PteWalkInfo& info, Acce
                        .last_used = 0};
   // Instruction fetches reload the ITLB, loads/stores the DTLB.
   if (IsInstruction(kind)) {
-    itlb_.Insert(entry);
+    bank_->itlb.Insert(entry);
   } else {
-    dtlb_.Insert(entry);
+    bank_->dtlb.Insert(entry);
   }
   UpdateKernelHighwater();
 }
 
 void Mmu::UpdateKernelHighwater() {
   HwCounters& counters = machine_.counters();
-  const uint64_t now =
-      static_cast<uint64_t>(itlb_.KernelEntryCount()) + dtlb_.KernelEntryCount();
+  const uint64_t now = static_cast<uint64_t>(bank_->itlb.KernelEntryCount()) +
+                       bank_->dtlb.KernelEntryCount();
   counters.kernel_tlb_highwater = std::max(counters.kernel_tlb_highwater, now);
 }
 
@@ -496,21 +503,21 @@ void Mmu::TlbInvalidatePage(EffAddr ea) {
   ++machine_.counters().tlb_page_flushes;
   // tlbie plus the serializing tlbsync/sync pair — a fixed pipeline cost on 603/604.
   machine_.AddCycles(Cycles(32));
-  itlb_.InvalidatePage(ea.PageIndex());
-  dtlb_.InvalidatePage(ea.PageIndex());
+  bank_->itlb.InvalidatePage(ea.PageIndex());
+  bank_->dtlb.InvalidatePage(ea.PageIndex());
 }
 
 void Mmu::TlbInvalidateAll() {
   ++machine_.counters().tlb_all_flushes;
   // tlbia plus the serializing tlbsync/sync pair, same fixed pipeline cost as tlbie.
   machine_.AddCycles(Cycles(32));
-  itlb_.InvalidateAll();
-  dtlb_.InvalidateAll();
+  bank_->itlb.InvalidateAll();
+  bank_->dtlb.InvalidateAll();
 }
 
 uint32_t Mmu::TlbInvalidateVsid(Vsid vsid) {
   const auto pred = [vsid](const TlbEntry& e) { return e.vsid == vsid; };
-  return itlb_.InvalidateMatching(pred) + dtlb_.InvalidateMatching(pred);
+  return bank_->itlb.InvalidateMatching(pred) + bank_->dtlb.InvalidateMatching(pred);
 }
 
 }  // namespace ppcmm

@@ -23,7 +23,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/sim/addr.h"
 #include "src/mmu/bat.h"
@@ -143,19 +145,48 @@ class Mmu {
   // charges nothing and changes nothing).
   std::optional<PhysAddr> Probe(EffAddr ea, AccessKind kind) const;
 
-  // TLB maintenance used by the kernel's flush strategies.
+  // TLB maintenance used by the kernel's flush strategies. These act on the *current*
+  // CPU's TLBs; cross-CPU invalidation goes through the shootdown primitives below.
   void TlbInvalidatePage(EffAddr ea);            // tlbie: by page index in both TLBs
   void TlbInvalidateAll();                       // tlbia
   uint32_t TlbInvalidateVsid(Vsid vsid);         // simulation convenience (eager full flush)
 
-  // Component access.
-  SegmentRegs& segments() { return segments_; }
+  // ---- SMP ----
+  //
+  // Each simulated CPU owns a bank of private MMU state: split I/D TLBs, segment
+  // registers, and the host-side memo slots. The BATs, the HTAB, and the backing PTE
+  // tree are shared, exactly like physical memory. SetCurrentCpu moves the translation
+  // spotlight; everything above (Access, reloads, local flushes) then reads and writes
+  // that CPU's bank.
+  uint32_t NumCpus() const { return static_cast<uint32_t>(banks_.size()); }
+  void SetCurrentCpu(uint32_t cpu) { bank_ = banks_[cpu].get(); }
+
+  // Shootdown primitives: invalidate translations in CPU `cpu`'s TLBs on behalf of a
+  // remote requester. Pure state mutation — the caller (the flush engine's IPI round)
+  // owns all cycle charging and counter accounting, so these charge and count nothing.
+  // mmu-lint rule SMP-IPI-028 confines callers to the shootdown/IPI path in flush.cc:
+  // any other cross-CPU TLB mutation would be a coherence hole the auditor cannot see.
+  void ShootdownInvalidatePage(uint32_t cpu, EffAddr ea) {
+    banks_[cpu]->itlb.InvalidatePage(ea.PageIndex());
+    banks_[cpu]->dtlb.InvalidatePage(ea.PageIndex());
+  }
+  void ShootdownInvalidateAll(uint32_t cpu) {
+    banks_[cpu]->itlb.InvalidateAll();
+    banks_[cpu]->dtlb.InvalidateAll();
+  }
+
+  // Component access (the current CPU's bank for per-CPU components).
+  SegmentRegs& segments() { return bank_->segments; }
   BatArray& ibats() { return ibats_; }
   BatArray& dbats() { return dbats_; }
   HashTable& htab() { return htab_; }
   const HashTable& htab() const { return htab_; }
-  Tlb& itlb() { return itlb_; }
-  Tlb& dtlb() { return dtlb_; }
+  Tlb& itlb() { return bank_->itlb; }
+  Tlb& dtlb() { return bank_->dtlb; }
+  // Per-CPU views (verification: the auditor checks every CPU's TLBs and segments).
+  SegmentRegs& segments(uint32_t cpu) { return banks_[cpu]->segments; }
+  Tlb& itlb(uint32_t cpu) { return banks_[cpu]->itlb; }
+  Tlb& dtlb(uint32_t cpu) { return banks_[cpu]->dtlb; }
   const MmuPolicy& policy() const { return policy_; }
   Machine& machine() { return machine_; }
 
@@ -211,11 +242,25 @@ class Mmu {
   static constexpr uint32_t kFastPathSlots = 256;  // per side, direct-mapped
   static constexpr uint32_t kNoFastTag = 0xFFFFFFFFu;
 
+  // Per-CPU MMU state (see the SMP section above). unique_ptr keeps bank addresses
+  // stable: FastSlot::entry aliases into a bank's TLB ways.
+  struct CpuBank {
+    explicit CpuBank(const MachineConfig& config)
+        : itlb("itlb", config.itlb_entries, config.tlb_associativity),
+          dtlb("dtlb", config.dtlb_entries, config.tlb_associativity) {}
+    SegmentRegs segments;
+    Tlb itlb;
+    Tlb dtlb;
+    std::array<std::array<FastSlot, kFastPathSlots>, 2> fast_slots{};
+  };
+
   // The combined mutation clock the fast path snapshots. Each component only ever
   // increments, so the sum strictly increases on any segment or BAT write and a stale
-  // snapshot can never compare equal again.
+  // snapshot can never compare equal again. Segment registers are per-CPU, so the clock
+  // is read against the current bank — memo slots live in the same bank, keeping every
+  // snapshot and its later comparison on one CPU.
   uint64_t FastGen() const {
-    return segments_.generation() + ibats_.generation() + dbats_.generation();
+    return bank_->segments.generation() + ibats_.generation() + dbats_.generation();
   }
   // Refills the TLB after a miss. Returns the walk result or nullopt on page fault.
   std::optional<PteWalkInfo> Reload(EffAddr ea, VirtPage vp, AccessKind kind);
@@ -226,12 +271,11 @@ class Mmu {
 
   Machine& machine_;
   MmuPolicy policy_;
-  SegmentRegs segments_;
   BatArray ibats_;
   BatArray dbats_;
   HashTable htab_;
-  Tlb itlb_;
-  Tlb dtlb_;
+  std::vector<std::unique_ptr<CpuBank>> banks_;  // one per CPU, fixed at construction
+  CpuBank* bank_;                                // the current CPU's bank
   PteBackingSource* backing_ = nullptr;
   const VsidOracle* oracle_ = nullptr;
   AllLiveVsidOracle all_live_;
@@ -242,7 +286,6 @@ class Mmu {
   uint64_t fast_misses_ = 0;
   uint64_t span_runs_ = 0;
   uint64_t span_accesses_ = 0;
-  std::array<std::array<FastSlot, kFastPathSlots>, 2> fast_slots_;  // [IsInstruction(kind)]
 };
 
 }  // namespace ppcmm

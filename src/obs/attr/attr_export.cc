@@ -182,8 +182,8 @@ std::string FlightRecorderDump(const CycleLedger& ledger, const std::string& con
   for (size_t i = start; i < events.size(); ++i) {
     const AttrEvent& e = events[i];
     std::snprintf(line, sizeof(line),
-                  "  @%-12" PRIu64 " task=%-4u depth=%u %-22s %8" PRIu64 " cycles\n",
-                  e.end_cycle, e.task, e.depth, AttrCauseName(e.cause), e.cycles);
+                  "  @%-12" PRIu64 " cpu=%u task=%-4u depth=%u %-22s %8" PRIu64 " cycles\n",
+                  e.end_cycle, e.cpu, e.task, e.depth, AttrCauseName(e.cause), e.cycles);
     out += line;
   }
   return out;

@@ -36,6 +36,7 @@ const char* AttrCauseName(AttrCause cause) {
     case AttrCause::kFork: return "fork";
     case AttrCause::kExec: return "exec";
     case AttrCause::kExit: return "exit";
+    case AttrCause::kTlbShootdown: return "tlb_shootdown";
     case AttrCause::kNumCauses: break;
   }
   return "invalid";
@@ -104,6 +105,7 @@ void CycleLedger::Pop(uint64_t end_cycle, uint64_t elapsed_cycles) {
   event.task = task_;
   event.cause = frame.cause;
   event.depth = static_cast<uint8_t>(depth_ + 1);
+  event.cpu = static_cast<uint8_t>(cpu_);
   ++events_recorded_;
   path_[depth_] = 0;
   // The parent frame's cell iterator is still valid (map nodes are stable), but the task

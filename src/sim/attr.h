@@ -64,6 +64,9 @@ enum class AttrCause : uint8_t {
   kFork,
   kExec,
   kExit,
+  // SMP: cross-CPU TLB shootdown rounds (IPI send/receive plus the remote invalidate)
+  // and the deferred tlbia an idle-skipped CPU runs when it next schedules.
+  kTlbShootdown,
   kNumCauses,  // sentinel, not a cause
 };
 
@@ -78,6 +81,7 @@ struct AttrEvent {
   uint32_t task = 0;       // task current when the scope closed
   AttrCause cause = AttrCause::kInstruction;  // leaf cause of the closed scope
   uint8_t depth = 0;                          // nesting depth of the closed scope (1 = root)
+  uint8_t cpu = 0;                            // CPU current when the scope closed
 };
 
 // The attribution ledger. One per Machine; all mutation goes through CycleScope
@@ -136,6 +140,12 @@ class CycleLedger {
   void SetCurrentTask(uint32_t task);
   uint32_t current_task() const { return task_; }
 
+  // Mirrors the SMP interleaver: flight-recorder events closed from now on are stamped
+  // with `cpu`. Cells stay keyed by (path, task) only — the per-CPU view lives in the
+  // flight ring and the per-CPU cycle clocks, not in the attribution table.
+  void SetCurrentCpu(uint32_t cpu) { cpu_ = cpu; }
+  uint32_t current_cpu() const { return cpu_; }
+
   uint32_t depth() const { return depth_; }
   // Total cycles charged while enabled. The conservation invariant: this equals both the
   // sum over Cells() and the machine's clock advance over the enabled window, bit-exactly.
@@ -154,6 +164,7 @@ class CycleLedger {
 
   bool enabled_ = false;
   uint32_t task_ = 0;
+  uint32_t cpu_ = 0;
   uint32_t depth_ = 0;
   uint64_t total_ = 0;
 

@@ -45,6 +45,11 @@
   X(tlb_all_flushes, "full-TLB invalidations (tlbia-style)")                                \
   X(tlb_context_flushes, "whole-context (VSID reassignment) flushes")                       \
   X(vsid_epoch_rollovers, "24-bit VSID space wraps (global flush + reassign)")              \
+  /* SMP TLB shootdown (flushes that must reach every CPU's TLB). */                        \
+  X(tlb_shootdown_requests, "eager flushes that ran a cross-CPU shootdown round")           \
+  X(tlb_shootdown_ipis, "shootdown IPIs delivered to busy remote CPUs")                     \
+  X(tlb_shootdown_idle_skips, "idle remote CPUs skipped (flush deferred to switch-in)")     \
+  X(tlb_shootdown_deferred_flushes, "deferred whole-TLB flushes run at CPU switch-in")      \
   /* Kernel activity. */                                                                    \
   X(syscalls, "system calls")                                                               \
   X(context_switches, "task switches")                                                      \

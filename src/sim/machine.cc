@@ -7,6 +7,12 @@ Machine::Machine(const MachineConfig& config)
       memory_(config.ram_bytes),
       icache_("icache", config.icache, config.memory),
       dcache_("dcache", config.dcache, config.memory) {
+  config_.ncpus = std::max(1u, config_.ncpus);
+  for (uint32_t cpu = 1; cpu < config_.ncpus; ++cpu) {
+    extra_cores_.push_back(std::make_unique<ExtraCore>(config_));
+  }
+  cpu_cycles_.assign(config_.ncpus, 0);
+  cpu_cycles_cur_ = &cpu_cycles_[0];
   if (config.has_l2) {
     l2_ = std::make_unique<Cache>("l2", config.l2, config.memory);
   }

@@ -8,6 +8,7 @@
 #define PPCMM_SRC_SIM_MACHINE_H_
 
 #include <algorithm>
+#include <vector>
 
 #include "src/sim/attr.h"
 #include "src/sim/probes.h"
@@ -34,10 +35,42 @@ class Machine {
   const MachineConfig& config() const { return config_; }
   PhysicalMemory& memory() { return memory_; }
   const PhysicalMemory& memory() const { return memory_; }
-  Cache& icache() { return icache_; }
-  Cache& dcache() { return dcache_; }
-  // The optional board L2 (null when the profile has none).
+  // The current CPU's L1 caches (CPU 0's unless SetCurrentCpu moved the spotlight).
+  Cache& icache() { return *icache_cur_; }
+  Cache& dcache() { return *dcache_cur_; }
+  // A specific CPU's L1 caches (per-CPU verification views).
+  Cache& icache(uint32_t cpu) { return cpu == 0 ? icache_ : extra_cores_[cpu - 1]->icache; }
+  Cache& dcache(uint32_t cpu) { return cpu == 0 ? dcache_ : extra_cores_[cpu - 1]->dcache; }
+  // The optional board L2 (null when the profile has none; shared by every CPU).
   Cache* l2cache() { return l2_.get(); }
+
+  // ---- SMP interleaving ----
+  //
+  // The machine simulates N CPUs by time-multiplexing one deterministic execution spotlight
+  // over a single global cycle clock: SetCurrentCpu redirects the hot paths at CPU `cpu`'s
+  // caches and stamps subsequent attribution events, it never advances the clock. Per-CPU
+  // local clocks (CpuCycles) record how much of the global timeline each CPU consumed, so
+  // interleaving drivers can pick the least-advanced CPU next.
+  uint32_t ncpus() const { return config_.ncpus; }
+  uint32_t current_cpu() const { return current_cpu_; }
+  void SetCurrentCpu(uint32_t cpu) {
+    current_cpu_ = cpu;
+    icache_cur_ = &icache(cpu);
+    dcache_cur_ = &dcache(cpu);
+    cpu_cycles_cur_ = &cpu_cycles_[cpu];
+    attr_.SetCurrentCpu(cpu);
+  }
+  // Cycles CPU `cpu` has consumed of the global timeline.
+  uint64_t CpuCycles(uint32_t cpu) const { return cpu_cycles_[cpu]; }
+
+  // Charges cycles spent by a *remote* CPU (IPI receive, remote flush handlers). The global
+  // clock and the attribution ledger see them like any other cycles — the serialized
+  // interleaving model has one timeline — but they land on `cpu`'s local clock.
+  void AddCyclesOn(uint32_t cpu, Cycles c) {
+    counters_.cycles += c.value;
+    cpu_cycles_[cpu] += c.value;
+    attr_.Charge(c.value);
+  }
   HwCounters& counters() { return counters_; }
   const HwCounters& counters() const { return counters_; }
   TraceBuffer& trace() { return trace_; }
@@ -62,6 +95,7 @@ class Machine {
   // exactly once (a disabled ledger costs one predictable branch).
   void AddCycles(Cycles c) {
     counters_.cycles += c.value;
+    *cpu_cycles_cur_ += c.value;
     attr_.Charge(c.value);
   }
   Cycles Now() const { return Cycles(counters_.cycles); }
@@ -72,20 +106,20 @@ class Machine {
   // only the miss falls out of line into MissCost.
   void TouchData(PhysAddr pa, bool is_write, bool cached = true) {
     if (!cached) {
-      AddCycles(dcache_.AccessUncached(is_write));
+      AddCycles(dcache_cur_->AccessUncached(is_write));
       return;
     }
-    const CacheAccessOutcome l1 = dcache_.AccessLine(pa, is_write);
+    const CacheAccessOutcome l1 = dcache_cur_->AccessLine(pa, is_write);
     AddCycles(l1.hit ? Cycles(1) : MissCost(pa, is_write, l1.evicted_dirty));
   }
 
   // Charges one instruction fetch at `pa` through the instruction cache.
   void TouchInstruction(PhysAddr pa, bool cached = true) {
     if (!cached) {
-      AddCycles(icache_.AccessUncached(false));
+      AddCycles(icache_cur_->AccessUncached(false));
       return;
     }
-    const CacheAccessOutcome l1 = icache_.AccessLine(pa, false);
+    const CacheAccessOutcome l1 = icache_cur_->AccessLine(pa, false);
     AddCycles(l1.hit ? Cycles(1) : MissCost(pa, false, l1.evicted_dirty));
   }
 
@@ -99,7 +133,7 @@ class Machine {
   void TouchDataRun(PhysAddr pa, uint32_t stride, uint32_t count, bool is_write,
                     bool cached = true) {
     if (!cached) {
-      AddCycles(dcache_.AccessUncachedRun(is_write, count));
+      AddCycles(dcache_cur_->AccessUncachedRun(is_write, count));
       return;
     }
     const uint32_t line = config_.dcache.line_bytes;
@@ -112,7 +146,7 @@ class Machine {
         const uint32_t line_left = line - (cur.value & (line - 1));
         reps = std::min(count - i, (line_left - 1) / stride + 1);
       }
-      const CacheAccessOutcome l1 = dcache_.AccessLineRun(cur, is_write, reps);
+      const CacheAccessOutcome l1 = dcache_cur_->AccessLineRun(cur, is_write, reps);
       cycles += l1.hit ? 1 : MissCost(cur, is_write, l1.evicted_dirty).value;
       cycles += reps - 1;  // repeats on the just-touched line are L1 hits, 1 cycle each
       i += reps;
@@ -123,7 +157,7 @@ class Machine {
   // Instruction-fetch variant of TouchDataRun, same contract against TouchInstruction.
   void TouchInstructionRun(PhysAddr pa, uint32_t stride, uint32_t count, bool cached = true) {
     if (!cached) {
-      AddCycles(icache_.AccessUncachedRun(false, count));
+      AddCycles(icache_cur_->AccessUncachedRun(false, count));
       return;
     }
     const uint32_t line = config_.icache.line_bytes;
@@ -136,7 +170,7 @@ class Machine {
         const uint32_t line_left = line - (cur.value & (line - 1));
         reps = std::min(count - i, (line_left - 1) / stride + 1);
       }
-      const CacheAccessOutcome l1 = icache_.AccessLineRun(cur, false, reps);
+      const CacheAccessOutcome l1 = icache_cur_->AccessLineRun(cur, false, reps);
       cycles += l1.hit ? 1 : MissCost(cur, false, l1.evicted_dirty).value;
       cycles += reps - 1;
       i += reps;
@@ -145,7 +179,7 @@ class Machine {
   }
 
   // Issues a software data prefetch (dcbt) for the line containing `pa`.
-  void PrefetchData(PhysAddr pa) { AddCycles(dcache_.Prefetch(pa)); }
+  void PrefetchData(PhysAddr pa) { AddCycles(dcache_cur_->Prefetch(pa)); }
 
   // Elapsed simulated wall-clock time at this machine's clock rate.
   double ElapsedMicros() const { return CyclesToMicros(Now(), config_.clock_mhz); }
@@ -157,13 +191,31 @@ class Machine {
 
   MachineConfig config_;
   PhysicalMemory memory_;
+  // CPU 0's private core state, laid out exactly as the uniprocessor machine was so
+  // ncpus=1 stays bit-identical. CPUs 1+ live in extra_cores_ (unique_ptr for pointer
+  // stability: the hot-path cache pointers below alias into them).
   Cache icache_;
   Cache dcache_;
+  struct ExtraCore {
+    Cache icache;
+    Cache dcache;
+    ExtraCore(const MachineConfig& config)
+        : icache("icache", config.icache, config.memory),
+          dcache("dcache", config.dcache, config.memory) {}
+  };
+  std::vector<std::unique_ptr<ExtraCore>> extra_cores_;
   std::unique_ptr<Cache> l2_;
   HwCounters counters_;
   TraceBuffer trace_;
   LatencyProbes probes_;
   CycleLedger attr_;
+  // SMP spotlight: which CPU the hot paths currently model. The pointers are the only
+  // per-access indirection the refactor added; at ncpus=1 they never move off CPU 0.
+  uint32_t current_cpu_ = 0;
+  Cache* icache_cur_ = &icache_;
+  Cache* dcache_cur_ = &dcache_;
+  std::vector<uint64_t> cpu_cycles_;
+  uint64_t* cpu_cycles_cur_ = nullptr;
 };
 
 // RAII cause scope for the attribution ledger: cycles charged between construction and

@@ -68,6 +68,17 @@ struct MachineConfig {
   uint32_t dtlb_entries = 128;
   uint32_t tlb_associativity = 2;  // both 603 and 604 TLBs are 2-way set associative
 
+  // SMP: number of simulated CPUs. Each CPU gets its own split I/D TLBs, segment
+  // registers, and L1 caches; physical memory, the HTAB, the BATs, and the optional L2
+  // are shared. 1 (the default) is bit-identical to the original uniprocessor model.
+  uint32_t ncpus = 1;
+
+  // Inter-processor-interrupt costs for TLB shootdown (the smp_call_function idiom):
+  // cycles the requesting CPU spends raising the IPI and the remote CPU spends taking
+  // the interrupt before it runs the flush itself.
+  uint32_t ipi_send_cycles = 64;
+  uint32_t ipi_receive_cycles = 128;
+
   MemoryTiming memory;
   uint64_t ram_bytes = 32ull * 1024 * 1024;  // the paper fixes 32 MB in every machine (§4)
 

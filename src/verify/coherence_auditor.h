@@ -15,10 +15,17 @@
 //      context or kernel segment resolves to that VSID (counted, never an error).
 //   4. Same as 1–2 for every valid HTAB PTE, plus hash placement: the entry sits in its
 //      primary or secondary PTEG.
-//   5. The segment registers hold exactly the current task's VSID image (kernel VSIDs fixed).
+//   5. Every CPU's segment registers hold exactly that CPU's current task's VSID image
+//      (kernel VSIDs fixed on all CPUs).
 //   6. Every task's context is live, and no two live contexts share a VSID.
 //   7. Every frame mapped by a user PTE is allocator-owned with refcount >= the number of
 //      user mappings observed (I/O aperture frames excepted).
+//
+// SMP: invariants 1-3 run against every CPU's I/D TLBs. The cross-CPU staleness rule is
+// that no CPU may hold a translation invalidated by a COMPLETED shootdown; a CPU still
+// marked flush-pending (its shootdown was deferred because it was idle) is exempt — its
+// whole TLB is logically invalid and will be wiped at switch-in, so its entries are
+// tolerated and counted rather than checked.
 
 #ifndef PPCMM_SRC_VERIFY_COHERENCE_AUDITOR_H_
 #define PPCMM_SRC_VERIFY_COHERENCE_AUDITOR_H_
@@ -35,6 +42,8 @@ struct AuditStats {
   uint64_t tlb_entries_checked = 0;
   uint64_t htab_entries_checked = 0;
   uint64_t tlb_zombies_seen = 0;
+  // Valid entries skipped on flush-pending CPUs: logically invalid, wiped before next use.
+  uint64_t tlb_stale_tolerated = 0;
   uint64_t htab_zombies_seen = 0;
   uint64_t pte_mappings_checked = 0;
 };

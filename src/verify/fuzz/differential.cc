@@ -147,6 +147,16 @@ void ApplyAndCheck(System& sys, const ExpectedStep& step) {
     case FuzzOpKind::kSwitch:
       kernel.SwitchTo(TaskId{step.target_task});
       break;
+    case FuzzOpKind::kCpuSwitch:
+      kernel.SwitchCpu(step.target_cpu);
+      if (step.target_task != 0) {
+        // The oracle planned a switch-in because the CPU was idle; the kernel must agree.
+        PPCMM_CHECK_MSG(kernel.current().value == 0,
+                        "cpu " << step.target_cpu << " diverged: kernel has task "
+                               << kernel.current().value << " current, oracle expected idle");
+        kernel.SwitchTo(TaskId{step.target_task});
+      }
+      break;
     case FuzzOpKind::kTlbie:
       sys.mmu().TlbInvalidatePage(EffAddr::FromPage(step.start_page));
       break;
@@ -187,13 +197,34 @@ void FullCrossCheck(System& sys, const ReferenceMmu& ref, CoherenceAuditor& audi
   PPCMM_CHECK_MSG(kernel.current().value == ref.current(),
                   "current task diverged: kernel on " << kernel.current().value
                                                       << ", oracle on " << ref.current());
+  PPCMM_CHECK_MSG(kernel.current_cpu() == ref.current_cpu(),
+                  "current cpu diverged: kernel on " << kernel.current_cpu() << ", oracle on "
+                                                     << ref.current_cpu());
+  for (uint32_t cpu = 0; cpu < kernel.ncpus(); ++cpu) {
+    PPCMM_CHECK_MSG(kernel.CurrentOn(cpu).value == ref.current_on(cpu),
+                    "cpu " << cpu << " current task diverged: kernel has "
+                           << kernel.CurrentOn(cpu).value << ", oracle has "
+                           << ref.current_on(cpu));
+  }
   PPCMM_CHECK_MSG(kernel.TaskCount() == ref.tasks().size(),
                   "task count diverged: kernel has " << kernel.TaskCount() << ", oracle has "
                                                      << ref.tasks().size());
+  const uint32_t saved_cpu = kernel.current_cpu();
   const TaskId saved = kernel.current();
 
   for (const auto& [id, rt] : ref.tasks()) {
     PPCMM_CHECK_MSG(kernel.TaskExists(TaskId{id}), "oracle task " << id << " missing");
+    // A task current on some CPU is inspected by hopping there (SwitchTo would double-run
+    // it); everything else is switched in on the saved CPU. At ncpus=1 this is exactly the
+    // old SwitchTo(id) walk.
+    uint32_t on_cpu = kernel.ncpus();
+    for (uint32_t cpu = 0; cpu < kernel.ncpus(); ++cpu) {
+      if (kernel.CurrentOn(cpu).value == id) {
+        on_cpu = cpu;
+        break;
+      }
+    }
+    kernel.SwitchCpu(on_cpu != kernel.ncpus() ? on_cpu : saved_cpu);
     kernel.SwitchTo(TaskId{id});
     Task& t = kernel.task(TaskId{id});
 
@@ -294,6 +325,7 @@ void FullCrossCheck(System& sys, const ReferenceMmu& ref, CoherenceAuditor& audi
                                                        << " but the PTE is clean");
   });
 
+  kernel.SwitchCpu(saved_cpu);
   kernel.SwitchTo(saved);
 }
 
@@ -343,16 +375,18 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
   // selects it. Hardware walk needs a 604; the software strategies need a 603.
   OptimizationConfig config = options.config;
   config.no_htab_direct_reload = options.strategy == ReloadStrategy::kSoftwareDirect;
-  if (options.break_tlb_invalidate) {
-    // The sabotage lives in the eager per-page flush; force every flush down that path so
-    // the planted bug cannot hide behind lazy whole-context retirement.
+  if (options.break_tlb_invalidate || options.break_shootdown) {
+    // Both sabotages live in the eager per-page flush path (lazy VSID-bump retirement needs
+    // neither a tlbie nor a shootdown); force every flush down that path so the planted bug
+    // cannot hide behind lazy whole-context retirement.
     config.lazy_context_flush = false;
     config.range_flush_cutoff = 0;
     config.eager_dirty_marking = false;
   }
-  const MachineConfig machine = options.strategy == ReloadStrategy::kHardwareHtabWalk
-                                    ? MachineConfig::Ppc604(185)
-                                    : MachineConfig::Ppc603(80);
+  MachineConfig machine = options.strategy == ReloadStrategy::kHardwareHtabWalk
+                              ? MachineConfig::Ppc604(185)
+                              : MachineConfig::Ppc603(80);
+  machine.ncpus = options.ncpus == 0 ? 1 : options.ncpus;
 
   System sys(machine, config);
   // Flight recorder: on divergence the report carries the last attributed events, and every
@@ -362,11 +396,15 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
   if (options.break_tlb_invalidate) {
     sys.kernel().flusher().TestOnlyBreakTlbInvalidate(true);
   }
+  if (options.break_shootdown) {
+    sys.kernel().flusher().TestOnlyBreakShootdown(true);
+  }
 
   ReferenceMmu ref(RefArchConfig{
       .framebuffer_bat = config.framebuffer_bat,
       .eager_dirty_marking = config.eager_dirty_marking || config.lazy_context_flush,
-      .num_frames = static_cast<uint32_t>(sys.machine().memory().num_frames())});
+      .num_frames = static_cast<uint32_t>(sys.machine().memory().num_frames()),
+      .ncpus = machine.ncpus});
   CoherenceAuditor auditor(sys.kernel());
 
   std::deque<std::string> trace;  // the last few executed ops, for the report
@@ -410,8 +448,14 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
         << "preset:    " << options.config_name << "\n"
         << "strategy:  " << ReloadStrategyName(options.strategy) << "\n"
         << "fast path: " << (options.fast_path ? "on" : "off") << "\n";
+    if (machine.ncpus > 1) {
+      oss << "ncpus:     " << machine.ncpus << "\n";
+    }
     if (options.break_tlb_invalidate) {
       oss << "sabotage:  break_tlb_invalidate\n";
+    }
+    if (options.break_shootdown) {
+      oss << "sabotage:  break_shootdown\n";
     }
     oss << "op index:  " << op_index;
     if (current_op != nullptr) {
@@ -437,7 +481,7 @@ DifferentialResult RunDifferential(const FuzzStream& stream,
 
 MatrixResult RunMatrix(const FuzzStream& stream, const OptimizationConfig& config,
                        const std::string& config_name, uint32_t check_period,
-                       bool break_tlb_invalidate) {
+                       bool break_tlb_invalidate, uint32_t ncpus) {
   MatrixResult result;
   const ReloadStrategy strategies[] = {ReloadStrategy::kSoftwareDirect,
                                        ReloadStrategy::kSoftwareHtab,
@@ -451,6 +495,7 @@ MatrixResult RunMatrix(const FuzzStream& stream, const OptimizationConfig& confi
       options.fast_path = fast_path;
       options.check_period = check_period;
       options.break_tlb_invalidate = break_tlb_invalidate;
+      options.ncpus = ncpus;
       DifferentialResult run = RunDifferential(stream, options);
       ++result.runs;
       result.coverage.Merge(run.coverage);

@@ -40,12 +40,19 @@ struct DifferentialOptions {
   std::string config_name;  // for reports only
   ReloadStrategy strategy = ReloadStrategy::kHardwareHtabWalk;
   bool fast_path = true;
+  // Simulated CPUs for both the real System and the oracle. kCpuSwitch ops in the stream
+  // are skipped at ncpus=1, so any stream runs at any width.
+  uint32_t ncpus = 1;
   // Run the full machine sweep every N executed ops (0 = only after the last op). Per-op
   // assertions (faults, frames, tokens) always run regardless.
   uint32_t check_period = 1024;
   // Test-only sabotage: make EagerFlushPage skip its tlbie, leaving zombie TLB entries the
   // cross-check must catch. Used to prove the fuzzer + minimizer actually detect bugs.
   bool break_tlb_invalidate = false;
+  // Test-only sabotage: shootdown IPIs land but invalidate nothing, leaving stale entries
+  // only in *remote* TLBs. Only reachable at ncpus > 1 after a task migrates CPUs, so a
+  // minimized repro must keep its cpu_switch ops — the SMP analog of break_tlb_invalidate.
+  bool break_shootdown = false;
 };
 
 struct DifferentialResult {
@@ -71,7 +78,7 @@ struct MatrixResult {
 
 MatrixResult RunMatrix(const FuzzStream& stream, const OptimizationConfig& config,
                        const std::string& config_name, uint32_t check_period,
-                       bool break_tlb_invalidate = false);
+                       bool break_tlb_invalidate = false, uint32_t ncpus = 1);
 
 }  // namespace ppcmm
 

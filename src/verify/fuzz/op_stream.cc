@@ -32,6 +32,9 @@ constexpr KindInfo kKinds[kNumFuzzOpKinds] = {
     {FuzzOpKind::kFbBatToggle, "fb_bat_toggle", 2},
     {FuzzOpKind::kIdle, "idle", 3},
     {FuzzOpKind::kTouchRun, "touch_run", 8},
+    // Weight 0: never drawn by GenerateStream, so pre-SMP (seed, op_count) pairs produce
+    // byte-identical streams. GenerateSmpStream adds its weight separately.
+    {FuzzOpKind::kCpuSwitch, "cpu_switch", 0},
 };
 
 uint32_t TotalWeight() {
@@ -64,15 +67,18 @@ FuzzOpKind FuzzOpKindFromName(const std::string& name, bool* ok) {
   return FuzzOpKind::kTouch;
 }
 
-FuzzStream GenerateStream(uint64_t seed, uint32_t op_count) {
+namespace {
+
+FuzzStream GenerateWithExtraCpuSwitchWeight(uint64_t seed, uint32_t op_count,
+                                            uint32_t cpu_switch_weight) {
   FuzzStream stream;
   stream.seed = seed;
   stream.ops.reserve(op_count);
   Rng rng(seed);
-  const uint32_t total_weight = TotalWeight();
+  const uint32_t total_weight = TotalWeight() + cpu_switch_weight;
   for (uint32_t i = 0; i < op_count; ++i) {
     uint32_t pick = static_cast<uint32_t>(rng.NextBelow(total_weight));
-    FuzzOpKind kind = FuzzOpKind::kTouch;
+    FuzzOpKind kind = FuzzOpKind::kCpuSwitch;  // the trailing extra-weight band
     for (const KindInfo& info : kKinds) {
       if (pick < info.weight) {
         kind = info.kind;
@@ -86,6 +92,16 @@ FuzzStream GenerateStream(uint64_t seed, uint32_t op_count) {
                                 .c = static_cast<uint32_t>(rng.Next())});
   }
   return stream;
+}
+
+}  // namespace
+
+FuzzStream GenerateStream(uint64_t seed, uint32_t op_count) {
+  return GenerateWithExtraCpuSwitchWeight(seed, op_count, 0);
+}
+
+FuzzStream GenerateSmpStream(uint64_t seed, uint32_t op_count, uint32_t cpu_switch_weight) {
+  return GenerateWithExtraCpuSwitchWeight(seed, op_count, cpu_switch_weight);
 }
 
 std::string SerializeStream(const FuzzStream& stream) {

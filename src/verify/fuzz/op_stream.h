@@ -35,8 +35,11 @@ enum class FuzzOpKind : uint8_t {
   kFbBatToggle,   // program/clear the framebuffer DBAT mid-stream (BAT rewrite)
   kIdle,          // idle ticks: zombie reclaim + page zeroing
   kTouchRun,      // batched multi-page access run (UserTouchRun), crossing fault boundaries
+  kCpuSwitch,     // SMP: hop the execution spotlight to another CPU (weight 0 in the
+                  // standard table — GenerateStream output is unchanged; GenerateSmpStream
+                  // mixes it in)
 };
-inline constexpr uint32_t kNumFuzzOpKinds = 15;
+inline constexpr uint32_t kNumFuzzOpKinds = 16;
 
 const char* FuzzOpName(FuzzOpKind kind);
 // Returns kNumFuzzOpKinds for an unknown name.
@@ -58,6 +61,12 @@ struct FuzzStream {
 
 // Generates `op_count` ops with the standard kind weights, operands fully random.
 FuzzStream GenerateStream(uint64_t seed, uint32_t op_count);
+
+// SMP variant: the standard weights plus `cpu_switch_weight` of kCpuSwitch (the target CPU
+// is op.a modulo ncpus, decoded at apply time). A distinct generator — not a knob on
+// GenerateStream — so every existing (seed, op_count) stream stays byte-identical.
+FuzzStream GenerateSmpStream(uint64_t seed, uint32_t op_count,
+                             uint32_t cpu_switch_weight = 8);
 
 // The mmap length decode shared by generator documentation and the oracle: biased to the
 // 19/20/21-page cutoff boundary one time in four, otherwise 1..37 pages.

@@ -28,6 +28,7 @@ RefVmaAttr MakeAttr(bool writable, RefRegionKind kind) {
 
 ReferenceMmu::ReferenceMmu(const RefArchConfig& config)
     : config_(config),
+      cpu_current_(std::max(1u, config.ncpus), 0),
       fb_first_frame_(config.num_frames - kFbPages),
       fb_content_(kFbPages, 0) {}
 
@@ -57,6 +58,7 @@ void ReferenceMmu::Boot(uint32_t task_id, uint32_t text_pages, uint32_t data_pag
   InstallImage(t, text_pages, data_pages, stack_pages);
   tasks_.emplace(task_id, std::move(t));
   current_ = task_id;
+  cpu_current_[current_cpu_] = task_id;
   next_task_id_ = task_id + 1;
 }
 
@@ -91,6 +93,9 @@ ExpectedStep ReferenceMmu::Plan(const FuzzOp& op, uint32_t op_index) {
       break;
     case FuzzOpKind::kSwitch:
       PlanSwitch(op, step);
+      break;
+    case FuzzOpKind::kCpuSwitch:
+      PlanCpuSwitch(op, step);
       break;
     case FuzzOpKind::kTlbie:
       PlanTlbie(op, step);
@@ -354,12 +359,24 @@ void ReferenceMmu::PlanExit(const FuzzOp& op, ExpectedStep& step) {
   }
   step.target_task = candidates[op.a % candidates.size()];
   tasks_.erase(step.target_task);
+  // Exiting a task current on another CPU leaves that CPU idle (the kernel does the same).
+  for (uint32_t& on_cpu : cpu_current_) {
+    if (on_cpu == step.target_task) {
+      on_cpu = 0;
+    }
+  }
 }
 
 void ReferenceMmu::PlanExec(const FuzzOp& op, ExpectedStep& step) {
+  // A task current on another CPU cannot exec: exec reloads the executing CPU's segment
+  // registers, and a cross-CPU exec would leave the remote CPU resolving through stale
+  // segments. Real kernels have the same shape — execve runs on the task's own CPU.
+  // Always every task at ncpus=1.
   std::vector<uint32_t> ids;
   for (const auto& [id, t] : tasks_) {
-    ids.push_back(id);
+    if (!RunningElsewhere(id)) {
+      ids.push_back(id);
+    }
   }
   RefTask& t = tasks_.at(ids[op.a % ids.size()]);
   step.target_task = t.id;
@@ -381,12 +398,59 @@ void ReferenceMmu::PlanExec(const FuzzOp& op, ExpectedStep& step) {
 }
 
 void ReferenceMmu::PlanSwitch(const FuzzOp& op, ExpectedStep& step) {
+  // Tasks current on another CPU are excluded: a task runs on at most one CPU at a time.
+  // At ncpus=1 the candidate list is every task, exactly as before.
   std::vector<uint32_t> ids;
   for (const auto& [id, t] : tasks_) {
-    ids.push_back(id);
+    if (!RunningElsewhere(id)) {
+      ids.push_back(id);
+    }
   }
   step.target_task = ids[op.a % ids.size()];  // switching to the current task is legal
   current_ = step.target_task;
+  cpu_current_[current_cpu_] = current_;
+}
+
+void ReferenceMmu::PlanCpuSwitch(const FuzzOp& op, ExpectedStep& step) {
+  const uint32_t ncpus = static_cast<uint32_t>(cpu_current_.size());
+  if (ncpus <= 1) {
+    step.skip = true;
+    step.skip_reason = "uniprocessor";
+    return;
+  }
+  const uint32_t target = op.a % ncpus;
+  if (target == current_cpu_) {
+    step.skip = true;
+    step.skip_reason = "already on that cpu";
+    return;
+  }
+  step.target_cpu = target;
+  if (cpu_current_[target] == 0) {
+    // The target CPU is idle. The runner must put a task on it (ops always run against a
+    // current task), so plan a switch-in too — any task not current on some other CPU.
+    std::vector<uint32_t> candidates;
+    for (const auto& [id, t] : tasks_) {
+      bool busy_elsewhere = false;
+      for (uint32_t cpu = 0; cpu < ncpus; ++cpu) {
+        if (cpu != target && cpu_current_[cpu] == id) {
+          busy_elsewhere = true;
+          break;
+        }
+      }
+      if (!busy_elsewhere) {
+        candidates.push_back(id);
+      }
+    }
+    if (candidates.empty()) {
+      step.skip = true;
+      step.skip_reason = "no schedulable task for the idle cpu";
+      return;
+    }
+    step.target_task = candidates[op.b % candidates.size()];
+    cpu_current_[target] = step.target_task;
+  }
+  current_cpu_ = target;
+  current_ = cpu_current_[target];
 }
 
 void ReferenceMmu::PlanTlbie(const FuzzOp& op, ExpectedStep& step) {

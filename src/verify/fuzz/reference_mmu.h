@@ -39,6 +39,10 @@ struct RefArchConfig {
   // the §7 trade) or must imply one.
   bool eager_dirty_marking = false;
   uint32_t num_frames = 8192;  // 32 MB
+  // Simulated CPUs. The oracle has no TLBs, so all it models is per-CPU current tasks:
+  // which task the spotlight finds on each CPU, and that a task never runs on two at once.
+  // Everything the per-CPU TLBs cache must remain architecturally invisible.
+  uint32_t ncpus = 1;
 };
 
 // Region tags stored in RefVmaAttr::kind.
@@ -88,6 +92,10 @@ struct ExpectedStep {
   uint32_t target_task = 0;
   uint32_t exec_text = 0, exec_data = 0, exec_stack = 0;
 
+  // kCpuSwitch: hop to target_cpu; when target_task != 0 the CPU was idle and the runner
+  // must also switch that task in there.
+  uint32_t target_cpu = 0;
+
   // kFbBatToggle
   bool fb_bat_after = false;
 
@@ -125,6 +133,10 @@ class ReferenceMmu {
 
   const std::map<uint32_t, RefTask>& tasks() const { return tasks_; }
   uint32_t current() const { return current_; }
+  uint32_t current_cpu() const { return current_cpu_; }
+  // Task id running on `cpu` (0 = idle). Mirrors Kernel::CurrentOn.
+  uint32_t current_on(uint32_t cpu) const { return cpu_current_[cpu]; }
+  uint32_t ncpus() const { return static_cast<uint32_t>(cpu_current_.size()); }
   bool fb_bat_on() const { return fb_bat_on_; }
   uint32_t fb_first_frame() const { return fb_first_frame_; }
   // Expected content of the first word of framebuffer page `idx` (global: the aperture's
@@ -140,6 +152,16 @@ class ReferenceMmu {
     return (op_index * 2654435761u) ^ (task_id * 97u) ^ page ^ 0x5EEDu;
   }
   RefTask& Current() { return tasks_.at(current_); }
+  // True when `task_id` is current on a CPU other than current_cpu_: such a task cannot be
+  // switched in, exec'd, or scheduled elsewhere. Always false at ncpus=1.
+  bool RunningElsewhere(uint32_t task_id) const {
+    for (uint32_t cpu = 0; cpu < cpu_current_.size(); ++cpu) {
+      if (cpu != current_cpu_ && cpu_current_[cpu] == task_id) {
+        return true;
+      }
+    }
+    return false;
+  }
   // Non-framebuffer VMA pages of one task / of every task (the budget metric).
   static uint32_t NonFbVmaPages(const RefTask& t);
   uint32_t TotalUserPages() const;
@@ -155,6 +177,7 @@ class ReferenceMmu {
   void PlanExit(const FuzzOp& op, ExpectedStep& step);
   void PlanExec(const FuzzOp& op, ExpectedStep& step);
   void PlanSwitch(const FuzzOp& op, ExpectedStep& step);
+  void PlanCpuSwitch(const FuzzOp& op, ExpectedStep& step);
   void PlanTlbie(const FuzzOp& op, ExpectedStep& step);
   void PlanFbMap(ExpectedStep& step);
   void PlanFbTouch(const FuzzOp& op, uint32_t op_index, ExpectedStep& step);
@@ -162,6 +185,8 @@ class ReferenceMmu {
   RefArchConfig config_;
   std::map<uint32_t, RefTask> tasks_;
   uint32_t current_ = 0;
+  uint32_t current_cpu_ = 0;
+  std::vector<uint32_t> cpu_current_;  // task id per CPU (0 = idle); [current_cpu_]==current_
   uint32_t next_task_id_ = 1;  // mirrors the kernel's monotonic CreateTask counter
   bool fb_bat_on_ = false;
   uint32_t fb_first_frame_ = 0;

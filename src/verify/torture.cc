@@ -84,6 +84,7 @@ MachineConfig DrawMachine(const TortureOptions& options) {
   if (options.ram_bytes != 0) {
     machine.ram_bytes = options.ram_bytes;
   }
+  machine.ncpus = options.ncpus == 0 ? 1 : options.ncpus;
   return machine;
 }
 
@@ -178,12 +179,56 @@ TortureResult RunTorture(const TortureOptions& options) {
     return size_t{0};
   };
 
+  const auto running_elsewhere = [&](TaskId id) {
+    for (uint32_t cpu = 0; cpu < kernel.ncpus(); ++cpu) {
+      if (cpu != kernel.current_cpu() && kernel.CurrentOn(cpu) == id) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Per-CPU TLB snapshot for the failure report: which CPU held what when the check fired.
+  // Entry dumps are capped — staleness bugs show in the first few entries plus the counts.
+  const auto tlb_snapshot = [&] {
+    std::ostringstream os;
+    os << "per-CPU TLB snapshot:\n";
+    for (uint32_t cpu = 0; cpu < kernel.ncpus(); ++cpu) {
+      os << "  cpu " << cpu << (cpu == kernel.current_cpu() ? " (faulting)" : "")
+         << ": task=" << kernel.CurrentOn(cpu).value
+         << " flush_pending=" << (kernel.FlushPendingOn(cpu) ? 1 : 0)
+         << " cycles=" << sys.machine().CpuCycles(cpu) << "\n";
+      const auto dump_tlb = [&](const Tlb& tlb) {
+        os << "    " << tlb.name() << ": " << tlb.ValidCount() << " valid ("
+           << tlb.KernelEntryCount() << " kernel)\n";
+        uint32_t shown = 0;
+        tlb.ForEachValid([&](const TlbEntry& entry) {
+          if (shown++ >= 8) {
+            return;
+          }
+          os << "      vsid=0x" << std::hex << entry.vsid.value << " page=0x"
+             << entry.page_index << " frame=0x" << entry.frame << std::dec
+             << " w=" << entry.writable << " c=" << entry.changed
+             << " k=" << entry.is_kernel << "\n";
+        });
+        if (shown > 8) {
+          os << "      ... +" << (shown - 8) << " more\n";
+        }
+      };
+      dump_tlb(kernel.mmu().itlb(cpu));
+      dump_tlb(kernel.mmu().dtlb(cpu));
+    }
+    return os.str();
+  };
+
   const auto fail = [&](uint32_t op_index, const std::string& what) {
     result.failed = true;
     std::ostringstream os;
     os << "torture failure: seed=" << options.seed << " strategy="
        << ReloadStrategyName(options.strategy) << " op=" << op_index << "/" << options.ops
-       << "\nconfig: " << result.config_desc << "\n" << what << "\nop trace (tail):\n";
+       << " cpu=" << kernel.current_cpu() << "/" << kernel.ncpus()
+       << "\nconfig: " << result.config_desc << "\n" << what << "\n"
+       << tlb_snapshot() << "op trace (tail):\n";
     const size_t first = trace.size() > 40 ? trace.size() - 40 : 0;
     for (size_t i = first; i < trace.size(); ++i) {
       os << "  " << trace[i] << "\n";
@@ -198,6 +243,9 @@ TortureResult RunTorture(const TortureOptions& options) {
            << (options.strategy == ReloadStrategy::kHardwareHtabWalk ? "hw"
                : options.strategy == ReloadStrategy::kSoftwareHtab   ? "sw"
                                                                      : "direct");
+    if (options.ncpus > 1) {
+      replay << " --ncpus " << options.ncpus;
+    }
     os << FlightRecorderDump(sys.machine().attr(), replay.str());
     result.failure_report = os.str();
   };
@@ -218,6 +266,33 @@ TortureResult RunTorture(const TortureOptions& options) {
   }
 
   for (uint32_t op = 0; op < options.ops && !result.failed; ++op) {
+    // SMP: occasionally hop the execution spotlight to another CPU. These draws happen only
+    // when ncpus > 1, so a uniprocessor run consumes the identical rng stream as before.
+    if (options.ncpus > 1 && rng.Chance(1, 6)) {
+      try {
+        const uint32_t prev = kernel.current_cpu();
+        const uint32_t target = static_cast<uint32_t>(rng.NextBelow(options.ncpus));
+        trace.push_back("hop to cpu " + std::to_string(target));
+        kernel.SwitchCpu(target);
+        if (kernel.current().value == 0) {
+          // The CPU is idle: put some task on it (one not running elsewhere), or hop back.
+          bool scheduled = false;
+          for (const TaskModel& model : models) {
+            if (!running_elsewhere(model.id)) {
+              kernel.SwitchTo(model.id);
+              scheduled = true;
+              break;
+            }
+          }
+          if (!scheduled) {
+            kernel.SwitchCpu(prev);
+          }
+        }
+      } catch (const CheckFailure& failure) {
+        fail(op, failure.what());
+        break;
+      }
+    }
     TaskModel& cur = models[model_index_of(kernel.current())];
     const uint64_t dice = rng.NextBelow(100);
     std::ostringstream op_desc;
@@ -271,9 +346,16 @@ TortureResult RunTorture(const TortureOptions& options) {
         models.erase(models.begin() + static_cast<ptrdiff_t>(victim));
       } else if (dice < 94) {
         const TaskModel& next = models[rng.NextBelow(models.size())];
-        op_desc << "switch to task " << next.id.value;
-        trace.push_back(op_desc.str());
-        kernel.SwitchTo(next.id);
+        if (running_elsewhere(next.id)) {
+          // SMP: the task is current on another CPU; switching it in here would double-run
+          // it. Never taken at ncpus=1.
+          op_desc << "switch to task " << next.id.value << " skipped (busy on another cpu)";
+          trace.push_back(op_desc.str());
+        } else {
+          op_desc << "switch to task " << next.id.value;
+          trace.push_back(op_desc.str());
+          kernel.SwitchTo(next.id);
+        }
       } else {
         const uint32_t budget = static_cast<uint32_t>(rng.NextInRange(500, 5000));
         op_desc << "idle " << budget << " cycles";

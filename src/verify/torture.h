@@ -25,6 +25,10 @@ struct TortureOptions {
   uint32_t ops = 10000;
   uint32_t audit_period = 64;  // full audit every N ops (plus once at the end); 0 = end only
   uint32_t max_tasks = 6;
+  // Simulated CPUs. >1 mixes CPU hops into the op stream (from the same rng stream, drawn
+  // only when ncpus > 1, so ncpus=1 runs replay the exact uniprocessor op sequence) and the
+  // failure report gains the faulting CPU and a per-CPU TLB snapshot.
+  uint32_t ncpus = 1;
   ReloadStrategy strategy = ReloadStrategy::kHardwareHtabWalk;
   // Draw the OptimizationConfig from the seed (each run exercises a different corner of the
   // policy space); when false, AllOptimizations() is used.

@@ -93,6 +93,135 @@ TEST(FuzzMinimizer, ShrinksPlantedDivergenceToAFewOps) {
   EXPECT_FALSE(clean.diverged) << clean.report;
 }
 
+// SMP lockstep: the same SMP-weighted stream must run divergence-free at every machine
+// width. At ncpus=1 every cpu_switch op is skipped (the stream degenerates to the
+// uniprocessor mix); at 2 and 4 the oracle tracks per-CPU current tasks and the runner
+// asserts the kernel agrees after every op and at every full cross-check.
+class FuzzSmpLockstep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzSmpLockstep, TenThousandOpsNoDivergence) {
+  const uint32_t ncpus = GetParam();
+  const FuzzStream stream = GenerateSmpStream(0x54B00 + ncpus, 10000);
+
+  for (const char* preset_name : {"baseline", "all"}) {
+    const FuzzPreset preset = FuzzPresetByName(preset_name);
+    DifferentialOptions options;
+    options.config = preset.config;
+    options.config_name = preset.name;
+    options.strategy =
+        ncpus == 4 ? ReloadStrategy::kHardwareHtabWalk : ReloadStrategy::kSoftwareHtab;
+    options.fast_path = true;
+    options.check_period = 2000;
+    options.ncpus = ncpus;
+
+    const DifferentialResult result = RunDifferential(stream, options);
+    EXPECT_FALSE(result.diverged) << "ncpus=" << ncpus << " preset=" << preset_name << "\n"
+                                  << result.report;
+    EXPECT_GT(result.ops_executed, 5000u);
+    const uint32_t hops =
+        result.coverage.executed[static_cast<uint32_t>(FuzzOpKind::kCpuSwitch)];
+    if (ncpus == 1) {
+      EXPECT_EQ(hops, 0u) << "cpu_switch must be skipped on a uniprocessor";
+    } else {
+      EXPECT_GT(hops, 100u) << "SMP stream must actually hop CPUs";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FuzzSmpLockstep, ::testing::Values(1u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "ncpus" + std::to_string(info.param);
+                         });
+
+// The planted tlbie bug must be just as catchable — and just as minimizable — on a
+// multi-CPU machine, where the stale entry can sit in a *remote* CPU's TLB.
+TEST(FuzzMinimizer, ShrinksPlantedDivergenceAtFourCpus) {
+  DifferentialOptions options;
+  options.config = OptimizationConfig::Baseline();
+  options.config_name = "baseline";
+  options.strategy = ReloadStrategy::kSoftwareHtab;
+  options.fast_path = true;
+  options.check_period = 100;
+  options.break_tlb_invalidate = true;
+  options.ncpus = 4;
+
+  const FuzzStream stream = GenerateSmpStream(0x5111Au, 600);
+  const DifferentialResult planted = RunDifferential(stream, options);
+  ASSERT_TRUE(planted.diverged) << "planted tlbie bug went undetected at ncpus=4";
+
+  MinimizeOptions min_options;
+  min_options.run = options;
+  const MinimizeResult shrunk = MinimizeStream(stream, min_options);
+  EXPECT_LE(shrunk.minimized.ops.size(), 8u)
+      << "minimized SMP repro should be a handful of ops:\n"
+      << SerializeStream(shrunk.minimized);
+  EXPECT_TRUE(shrunk.failure.diverged);
+
+  // Clean without the sabotage: the repro points at the planted bug.
+  DifferentialOptions healthy = options;
+  healthy.break_tlb_invalidate = false;
+  healthy.check_period = 1;
+  EXPECT_FALSE(RunDifferential(shrunk.minimized, healthy).diverged);
+}
+
+// A broken *shootdown* (IPIs land, remote handler forgets the invalidation) is invisible
+// on one CPU and invisible without task migration — the stale entry sits in a TLB the
+// spotlight has left. The fuzzer must catch it at ncpus=4, and the ddmin-minimized repro
+// must retain a cpu_switch op because the hop is load-bearing. The minimized stream for
+// this seed is checked in as tests/replays/smp_shootdown_migration.replay.
+TEST(FuzzMinimizer, BrokenShootdownNeedsACpuHopToReproduce) {
+  DifferentialOptions options;
+  options.config = OptimizationConfig::Baseline();
+  options.config_name = "baseline";
+  options.strategy = ReloadStrategy::kSoftwareHtab;
+  options.fast_path = true;
+  options.check_period = 100;
+  options.break_shootdown = true;
+  options.ncpus = 4;
+
+  const FuzzStream stream = GenerateSmpStream(0x5D000u, 600);
+  const DifferentialResult planted = RunDifferential(stream, options);
+  ASSERT_TRUE(planted.diverged) << "planted shootdown bug went undetected at ncpus=4";
+
+  // The identical stream and sabotage on a uniprocessor: ShootdownRound never runs, so the
+  // bug is unreachable and the run must be clean.
+  DifferentialOptions uni = options;
+  uni.ncpus = 1;
+  EXPECT_FALSE(RunDifferential(stream, uni).diverged);
+
+  MinimizeOptions min_options;
+  min_options.run = options;
+  const MinimizeResult shrunk = MinimizeStream(stream, min_options);
+  EXPECT_LE(shrunk.minimized.ops.size(), 12u) << SerializeStream(shrunk.minimized);
+  uint32_t hops = 0;
+  for (const FuzzOp& op : shrunk.minimized.ops) {
+    hops += op.kind == FuzzOpKind::kCpuSwitch ? 1 : 0;
+  }
+  EXPECT_GE(hops, 1u) << "the minimized shootdown repro lost its CPU hop:\n"
+                      << SerializeStream(shrunk.minimized);
+
+  // Clean with a working shootdown: the repro points at the planted bug, not a real one.
+  DifferentialOptions healthy = options;
+  healthy.break_shootdown = false;
+  healthy.check_period = 1;
+  EXPECT_FALSE(RunDifferential(shrunk.minimized, healthy).diverged);
+}
+
+// GenerateSmpStream with zero extra weight is byte-identical to GenerateStream: the SMP
+// kind rides at weight 0 in the base table, so pre-SMP (seed, op_count) pairs keep
+// producing the exact streams the replay corpus and bug reports were recorded against.
+TEST(FuzzStreamFormat, SmpGeneratorWithZeroWeightMatchesBaseGenerator) {
+  const FuzzStream base = GenerateStream(0xC0FFEE, 2000);
+  const FuzzStream smp = GenerateSmpStream(0xC0FFEE, 2000, /*cpu_switch_weight=*/0);
+  ASSERT_EQ(base.ops.size(), smp.ops.size());
+  for (size_t i = 0; i < base.ops.size(); ++i) {
+    EXPECT_EQ(base.ops[i].kind, smp.ops[i].kind);
+    EXPECT_EQ(base.ops[i].a, smp.ops[i].a);
+    EXPECT_EQ(base.ops[i].b, smp.ops[i].b);
+    EXPECT_EQ(base.ops[i].c, smp.ops[i].c);
+  }
+}
+
 TEST(FuzzStreamFormat, SerializeParseRoundTrip) {
   const FuzzStream stream = GenerateStream(42, 100);
   FuzzStream reparsed;

@@ -120,6 +120,17 @@ TEST(MmuLintFixtures, SpanValidityRulesFireAtStagedLines) {
                 });
 }
 
+TEST(MmuLintFixtures, SmpIpiRuleFiresAtStagedLines) {
+  // vma.cc stages both direct cross-CPU invalidation primitives outside the flush engine.
+  // The allowlisted definition (mmu.h) and IPI path (flush.cc), the suppressed call in
+  // vma2.cc, and the out-of-scope probe under tests/ must all stay quiet.
+  ExpectExactly(RunFixture("smp", "SMP"),
+                {
+                    {"src/kernel/vma.cc", 6, "SMP-IPI-028"},
+                    {"src/kernel/vma.cc", 8, "SMP-IPI-028"},
+                });
+}
+
 TEST(MmuLintFixtures, CounterRulesFireAtStagedLines) {
   // The fixture's tiny X-macro list is the source of truth, so the real tree's
   // hw.htab_hits must be flagged here; the markdown suppression must hold.
@@ -158,7 +169,8 @@ TEST(MmuLintFixtures, EveryListedRuleIsExercisedByAFixture) {
   // advertises fires in at least one fixture above (rules are also each asserted at exact
   // lines; this test catches a NEW rule added without fixture coverage).
   std::set<std::string> fired;
-  for (const char* fixture : {"layering", "determinism", "hotpath", "counters", "xmacro"}) {
+  for (const char* fixture : {"layering", "determinism", "hotpath", "smp", "counters",
+                              "xmacro"}) {
     for (const auto& d : RunFixture(fixture, "").diagnostics) {
       fired.insert(d.rule);
     }

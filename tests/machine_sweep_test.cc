@@ -8,6 +8,7 @@
 
 #include "src/core/system.h"
 #include "src/kernel/layout.h"
+#include "src/sim/rng.h"
 #include "src/sim/sweep_runner.h"
 #include "src/workloads/lmbench.h"
 
@@ -94,6 +95,61 @@ TEST(MachineSweepRunnerTest, ParallelSweepMatchesSerialAcrossAllProfiles) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_GT(serial[i], 0u) << machines[i].name;
   }
+}
+
+TEST(MachineSweepRunnerTest, SmpShootdownStormIsBitIdenticalAcrossRunsAndShards) {
+  // The SMP interleaving model must stay deterministic under every sweep topology: the
+  // same (seed, ncpus) cell produces bit-identical cycle totals and shootdown counters
+  // whether simulated twice in-process, on a thread pool, or across forked --shards style
+  // worker processes. This is the property that makes multi-CPU BENCH rows trustworthy.
+  struct Cell {
+    uint64_t seed;
+    uint32_t ncpus;
+  };
+  const std::vector<Cell> cells = {{11, 1}, {11, 2}, {11, 4}, {12, 2}, {12, 4}, {13, 4}};
+  const auto simulate = [&](size_t i) {
+    MachineConfig config = MachineConfig::Ppc604(185);
+    config.ncpus = cells[i].ncpus;
+    System sys(config, OptimizationConfig::Baseline());
+    Kernel& kernel = sys.kernel();
+    std::vector<TaskId> tasks;
+    for (uint32_t cpu = 0; cpu < cells[i].ncpus; ++cpu) {
+      kernel.SwitchCpu(cpu);
+      const TaskId t = kernel.CreateTask("cell");
+      kernel.Exec(t, ExecImage{.text_pages = 4, .data_pages = 16, .stack_pages = 2});
+      kernel.SwitchTo(t);
+    }
+    Rng rng(cells[i].seed);
+    for (uint32_t round = 0; round < 40; ++round) {
+      kernel.SwitchCpu(static_cast<uint32_t>(rng.NextBelow(cells[i].ncpus)));
+      const uint32_t pages = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+      const uint32_t start = kernel.Mmap(pages);
+      for (uint32_t p = 0; p < pages; ++p) {
+        kernel.UserTouch(EffAddr::FromPage(start + p), AccessKind::kStore);
+      }
+      kernel.Munmap(start, pages);
+    }
+    // Fold the observable outcome into one word: the global clock, every per-CPU clock,
+    // and the shootdown counters all feed the hash, so any nondeterminism surfaces.
+    uint64_t digest = sys.counters().cycles;
+    for (uint32_t cpu = 0; cpu < cells[i].ncpus; ++cpu) {
+      digest = digest * 1099511628211ull ^ sys.machine().CpuCycles(cpu);
+    }
+    digest = digest * 1099511628211ull ^ sys.counters().tlb_shootdown_ipis;
+    digest = digest * 1099511628211ull ^ sys.counters().tlb_shootdown_idle_skips;
+    digest = digest * 1099511628211ull ^ sys.counters().tlb_shootdown_deferred_flushes;
+    return digest;
+  };
+  const std::vector<uint64_t> once = SweepRunner(1).Map(cells.size(), simulate);
+  const std::vector<uint64_t> again = SweepRunner(1).Map(cells.size(), simulate);
+  const std::vector<uint64_t> pooled = SweepRunner(3).Map(cells.size(), simulate);
+  const std::vector<uint64_t> sharded = SweepRunner(1).MapSharded(cells.size(), 3, simulate);
+  EXPECT_EQ(once, again);
+  EXPECT_EQ(once, pooled);
+  EXPECT_EQ(once, sharded);
+  // Width must matter: the same seed at different ncpus is a different machine.
+  EXPECT_NE(once[0], once[1]);
+  EXPECT_NE(once[1], once[2]);
 }
 
 TEST(MachineScalingTest, FasterClockIsFasterWallClock) {

@@ -95,6 +95,50 @@ TEST(TortureTest, BrokenFlushIsCaughtWithReplayableReport) {
   EXPECT_EQ(replay.failure_report, result.failure_report);
 }
 
+TEST(TortureTest, MultiCpuRunsStayCoherentAndReplayIdentically) {
+  for (const uint32_t ncpus : {2u, 4u}) {
+    TortureOptions options;
+    options.seed = 42;
+    options.ops = 6000;
+    options.audit_period = 64;
+    options.ncpus = ncpus;
+    const TortureResult result = RunTorture(options);
+    EXPECT_FALSE(result.failed) << "ncpus=" << ncpus << "\n" << result.failure_report;
+    EXPECT_EQ(result.ops_executed, 6000u);
+    EXPECT_GT(result.audit_stats.audits, 50u);
+
+    const TortureResult replay = RunTorture(options);
+    EXPECT_EQ(replay.failed, result.failed);
+    EXPECT_EQ(replay.ops_executed, result.ops_executed);
+    EXPECT_EQ(replay.audit_stats.audits, result.audit_stats.audits);
+    EXPECT_EQ(replay.audit_stats.tlb_entries_checked, result.audit_stats.tlb_entries_checked);
+  }
+}
+
+TEST(TortureTest, MultiCpuFailureReportRecordsFaultingCpuAndTlbSnapshots) {
+  TortureOptions options;
+  options.seed = 7;
+  options.ops = 2000;
+  options.audit_period = 1;
+  options.ncpus = 2;
+  options.break_tlb_invalidate = true;
+  const TortureResult result = RunTorture(options);
+  ASSERT_TRUE(result.failed) << "sabotaged tlbie escaped " << result.ops_executed
+                             << " ops at ncpus=2";
+  // The report must say which CPU the check fired on and dump every CPU's TLB state.
+  EXPECT_NE(result.failure_report.find(" cpu="), std::string::npos) << result.failure_report;
+  EXPECT_NE(result.failure_report.find("/2"), std::string::npos) << result.failure_report;
+  EXPECT_NE(result.failure_report.find("per-CPU TLB snapshot"), std::string::npos)
+      << result.failure_report;
+  EXPECT_NE(result.failure_report.find("(faulting)"), std::string::npos)
+      << result.failure_report;
+  EXPECT_NE(result.failure_report.find("cpu 1:"), std::string::npos) << result.failure_report;
+
+  // And it replays bit-identically, snapshot included.
+  const TortureResult replay = RunTorture(options);
+  EXPECT_EQ(replay.failure_report, result.failure_report);
+}
+
 TEST(TortureTest, ExportedDocumentsRoundTripThroughTheParser) {
   TortureOptions options;
   options.seed = 11;

@@ -1,0 +1,7 @@
+// Fixture: the sanctioned caller. flush.cc IS the IPI shootdown path, so its calls to the
+// shootdown primitives must stay quiet.
+#include "src/mmu/mmu.h"
+void FixtureShootdownRound(FixtureMmu& mmu, unsigned cpu, unsigned ea) {
+  mmu.ShootdownInvalidatePage(cpu, ea);
+  mmu.ShootdownInvalidateAll(cpu);
+}

@@ -1,0 +1,10 @@
+// Fixture: stages SMP-IPI-028 twice — a kernel component reaching into a remote CPU's
+// TLB directly instead of going through the flush engine's IPI protocol. Line 6 stages
+// the per-page primitive, line 8 the invalidate-all.
+#include "src/mmu/mmu.h"
+void FixtureUnmapEverywhere(FixtureMmu& mmu, unsigned cpu, unsigned ea) {
+  mmu.ShootdownInvalidatePage(cpu, ea);
+  if (ea == 0) {
+    mmu.ShootdownInvalidateAll(cpu);
+  }
+}

@@ -1,0 +1,7 @@
+// Fixture: the same direct call under a suppression, so its absence from the expected
+// diagnostics is itself an assertion that mmu-lint-allow silences SMP-IPI-028.
+#include "src/mmu/mmu.h"
+void FixtureSuppressedUnmap(FixtureMmu& mmu, unsigned cpu, unsigned ea) {
+  // mmu-lint-allow(SMP-IPI-028): fixture proves suppressions silence the rule
+  mmu.ShootdownInvalidatePage(cpu, ea);
+}

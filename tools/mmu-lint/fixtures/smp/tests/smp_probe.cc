@@ -1,0 +1,6 @@
+// Fixture: tests/ is out of scope for SMP-IPI-028 — a test may drive the shootdown
+// primitives directly against a fixture Mmu to probe them. Must stay quiet.
+#include "src/mmu/mmu.h"
+void FixtureProbe(FixtureMmu& mmu) {
+  mmu.ShootdownInvalidateAll(0);
+}

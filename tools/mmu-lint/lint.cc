@@ -104,6 +104,7 @@ LintResult RunLint(const LintConfig& config) {
   CheckLayering(config, tree, &result.diagnostics);
   CheckDeterminism(config, tree, &result.diagnostics);
   CheckHotPaths(config, tree, &result.diagnostics);
+  CheckSmp(config, tree, &result.diagnostics);
   CheckCounters(config, tree, &result.diagnostics);
   std::sort(result.diagnostics.begin(), result.diagnostics.end());
   return result;

@@ -1,6 +1,6 @@
 // mmu-lint: project-specific static analysis for the ppcmm simulator.
 //
-// Four rule families, all driven by the declarative tables in rules.cc:
+// Five rule families, all driven by the declarative tables in rules.cc:
 //
 //   LAYER-*  include-DAG layering (sim < mmu/pagetable < kernel < core < obs < workloads
 //            < verify), fuzz-oracle independence, hot-path headers free of src/obs
@@ -8,6 +8,8 @@
 //            unordered-container iteration)
 //   HOT-*    listed hot-path function bodies free of allocation, throw, locks, stream I/O,
 //            and PTE-tree virtual dispatch
+//   SMP-*    cross-CPU TLB mutation confined to the IPI shootdown path in
+//            src/kernel/flush.cc (anything else edits a remote TLB for free)
 //   CNT-*    HwCounters X-macro list consistent with MetricsRegistry dotted names and the
 //            hw./sys./lat. references in docs and tests
 //

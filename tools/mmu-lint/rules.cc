@@ -209,6 +209,31 @@ const std::vector<BannedIdent>& AttrBans() {
   return kBans;
 }
 
+const std::vector<BannedIdent>& SmpIpiBans() {
+  static const std::vector<BannedIdent> kBans = {
+      {"SMP-IPI-028", "ShootdownInvalidatePage",
+       "direct cross-CPU TLB mutation outside the IPI shootdown path — no IPI is sent, no "
+       "cycles are charged, and the shootdown counters stay silent",
+       "route the invalidation through FlushEngine (src/kernel/flush.cc), which pays the "
+       "IPI cost and handles idle CPUs via the deferred-flush protocol"},
+      {"SMP-IPI-028", "ShootdownInvalidateAll",
+       "direct cross-CPU TLB mutation outside the IPI shootdown path — no IPI is sent, no "
+       "cycles are charged, and the shootdown counters stay silent",
+       "route the invalidation through FlushEngine (src/kernel/flush.cc), which pays the "
+       "IPI cost and handles idle CPUs via the deferred-flush protocol"},
+  };
+  return kBans;
+}
+
+const std::vector<std::string>& SmpIpiAllowlist() {
+  static const std::vector<std::string> kAllow = {
+      "src/mmu/mmu.h",        // defines the shootdown landing pads
+      "src/mmu/mmu.cc",       // may hold their out-of-line bodies
+      "src/kernel/flush.cc",  // the IPI protocol: the only sanctioned caller
+  };
+  return kAllow;
+}
+
 const std::vector<std::string>& SysGaugeNames() {
   static const std::vector<std::string> kNames = {
       "htab_utilization", "htab_valid",           "htab_live",
@@ -249,6 +274,8 @@ std::vector<std::pair<std::string, std::string>> ListRules() {
       {"SPAN-GEN-027", "translation-span validity may key only off generation counters — "
                        "no wall-clock reads or pointer-identity laundering in the "
                        "registered span-validity bodies"},
+      {"SMP-IPI-028", "no direct cross-CPU TLB mutation (Mmu::ShootdownInvalidate*) outside "
+                      "the IPI shootdown path in src/kernel/flush.cc"},
       {"CNT-REF-030", "every hw.<name> reference must name a real HwCounters X-macro field"},
       {"CNT-FOREACH-031", "MetricsRegistry must publish hw counters via ForEachField, not a "
                           "hand-maintained list"},

@@ -89,6 +89,18 @@ const std::vector<BannedIdent>& SpanValidityBans();
 const std::vector<std::string>& AttrCleanHeaders();
 const std::vector<BannedIdent>& AttrBans();
 
+// ---- SMP IPI discipline (SMP-*) --------------------------------------------------------
+
+// SMP-IPI-028: cross-CPU TLB invalidation must flow through the IPI shootdown protocol in
+// src/kernel/flush.cc. Mmu::ShootdownInvalidatePage / ShootdownInvalidateAll exist solely
+// as the remote IPI handler's landing pads; any other caller mutates another CPU's TLB
+// without sending an IPI, so no cycles are charged, no shootdown counter moves, and the
+// idle-skip/deferred-flush bookkeeping silently rots. Scanned whole-file over src/.
+const std::vector<BannedIdent>& SmpIpiBans();
+// Exact paths allowed to name the shootdown entry points: the Mmu that defines them and
+// the flush engine that implements the IPI protocol.
+const std::vector<std::string>& SmpIpiAllowlist();
+
 // ---- Counter consistency (CNT-*) -----------------------------------------------------
 
 struct CounterPaths {
@@ -116,6 +128,7 @@ struct Tree {
 void CheckLayering(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 void CheckDeterminism(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 void CheckHotPaths(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+void CheckSmp(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 void CheckCounters(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 
 // Helper shared by checks: appends a diagnostic unless suppressed in `sf`.

@@ -1,0 +1,53 @@
+// SMP-IPI-028: cross-CPU TLB invalidation goes through the IPI shootdown protocol only.
+//
+// The Mmu's ShootdownInvalidatePage / ShootdownInvalidateAll primitives reach into another
+// CPU's TLBs by index. That is exactly what real hardware cannot do — a remote TLB changes
+// only when its own CPU executes a tlbie/tlbia — so the simulator confines those calls to
+// FlushEngine's IPI path, which charges the send/receive cycles, advances the remote CPU's
+// local clock, and keeps the shootdown counters truthful. A stray caller anywhere else in
+// src/ would invalidate remote entries for free and quietly break the cycle model the
+// shootdown benchmarks and the §7 lazy-flush comparison rest on.
+//
+// The scan is whole-file (like HOT-ATTR-026): even naming the primitives in a helper or a
+// stored callback outside the allowlist is a design error, not just calling them.
+
+#include <string>
+#include <vector>
+
+#include "tools/mmu-lint/rules.h"
+
+namespace mmulint {
+namespace {
+
+bool InScope(const std::string& path) {
+  if (path.compare(0, 4, "src/") != 0) {
+    return false;  // tests/bench may exercise the primitives directly against a fixture
+  }
+  for (const std::string& exempt : SmpIpiAllowlist()) {
+    if (path == exempt) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckSmp(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out) {
+  for (const auto& [path, sf] : tree.files) {
+    if (!InScope(path)) {
+      continue;
+    }
+    for (const BannedIdent& ban : SmpIpiBans()) {
+      if (!RuleEnabled(config, ban.id)) {
+        continue;
+      }
+      for (size_t pos : FindIdentifier(sf.code, ban.ident)) {
+        Emit(sf, LineOf(sf.code, pos), ban.id, ban.ident + " in " + path + ": " + ban.why,
+             ban.fix, out);
+      }
+    }
+  }
+}
+
+}  // namespace mmulint
