@@ -666,6 +666,8 @@ void Kernel::ReleaseFrame(uint32_t frame) {
 }
 
 void Kernel::ReleaseRange(Mm& mm, uint32_t start_page, uint32_t page_count) {
+  // mmu-lint-deferred-flush(FLUSH-CONTRACT-029): every caller runs FlushRange/FlushContext
+  // over the same range before zapping the PTEs (Munmap, Exit), so the TLBs are already clean
   for (uint32_t i = 0; i < page_count; ++i) {
     machine_.AddCycles(Cycles(2));  // the zap loop itself
     const EffAddr ea = EffAddr::FromPage(start_page + i);
@@ -788,6 +790,7 @@ void Kernel::ShmDestroy(uint32_t shm_id) {
   PPCMM_CHECK_MSG(it != shm_segments_.end(), "destroy of unknown shm segment " << shm_id);
   PPCMM_CHECK_MSG(it->second.attach_count == 0,
                   "shm segment " << shm_id << " still has attachments");
+  CycleScope syscall_scope(machine_, AttrCause::kSyscall);
   for (const uint32_t frame : it->second.frames) {
     mem_.FreePage(frame);
   }
@@ -795,6 +798,7 @@ void Kernel::ShmDestroy(uint32_t shm_id) {
 }
 
 uint32_t Kernel::CreatePipe() {
+  CycleScope pipe_scope(machine_, AttrCause::kPipe);
   const uint32_t id = next_pipe_++;
   pipes_[id] = PipeState{.buffer_frame = mem_.GetFreePage(), .used = 0, .read_pos = 0};
   return id;
@@ -877,6 +881,9 @@ bool Kernel::WakeOne(WaitQueue& queue) {
   if (!woken.has_value()) {
     return false;
   }
+  // wake_up() runs in whatever syscall woke the sleeper; the scheduler bookkeeping below is
+  // kernel time and must not leak into the caller's ambient bucket.
+  CycleScope wake_scope(machine_, AttrCause::kSyscall);
   // wake_up(): runqueue insertion plus a touch of the woken task's struct.
   machine_.AddCycles(Cycles(40));
   KernelTouch(KernelVirtFromPhys(task(*woken).task_struct_pa), AccessKind::kStore);
@@ -1001,6 +1008,8 @@ void Kernel::UserTouchRange(EffAddr start, uint32_t bytes, uint32_t stride, Acce
 }
 
 void Kernel::UserExecute(uint32_t instructions) {
+  // mmu-lint-ambient(ATTR-COVER-032): user-mode instruction time IS the ambient bucket —
+  // the profiler attributes kernel overhead, not the workload's own execution
   Task& current = CurrentTask();
   const uint32_t line = machine_.config().icache.line_bytes;
   const uint32_t lines_per_page = kPageSize / line;
@@ -1303,6 +1312,8 @@ void Kernel::ChargeKernelWork(KernelOp op) {
 }
 
 void Kernel::MarkPteDirty(EffAddr ea, MemCharger& charger) {
+  // mmu-lint-deferred-flush(FLUSH-CONTRACT-029): dirty-bit-only update — the translation
+  // (frame, protection) is unchanged, so any cached TLB/HTAB copy remains correct
   PageTable* table = nullptr;
   if (ea.IsKernel()) {
     table = kernel_page_table_.get();

@@ -428,6 +428,9 @@ std::optional<PteWalkInfo> Mmu::Reload(EffAddr ea, VirtPage vp, AccessKind kind)
 }
 
 std::optional<PteWalkInfo> Mmu::SoftwareRefill(EffAddr ea, VirtPage vp, bool insert_into_htab) {
+  // mmu-lint-deferred-flush(FLUSH-CONTRACT-029): the insert is born coherent — it loads the
+  // translation this CPU just missed on; a displaced live entry simply re-faults through
+  // this same refill path, and flush correctness never depends on HTAB residency
   HwCounters& counters = machine_.counters();
   PPCMM_CHECK_MSG(backing_ != nullptr, "MMU has no PTE backing source installed");
   DataMemCharger pt_charger(machine_, policy_.cache_page_tables);

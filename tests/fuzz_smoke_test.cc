@@ -118,7 +118,7 @@ TEST_P(FuzzSmpLockstep, TenThousandOpsNoDivergence) {
     EXPECT_FALSE(result.diverged) << "ncpus=" << ncpus << " preset=" << preset_name << "\n"
                                   << result.report;
     EXPECT_GT(result.ops_executed, 5000u);
-    const uint32_t hops =
+    const uint64_t hops =
         result.coverage.executed[static_cast<uint32_t>(FuzzOpKind::kCpuSwitch)];
     if (ncpus == 1) {
       EXPECT_EQ(hops, 0u) << "cpu_switch must be skipped on a uniprocessor";
@@ -129,8 +129,8 @@ TEST_P(FuzzSmpLockstep, TenThousandOpsNoDivergence) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, FuzzSmpLockstep, ::testing::Values(1u, 2u, 4u),
-                         [](const ::testing::TestParamInfo<uint32_t>& info) {
-                           return "ncpus" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint32_t>& param_info) {
+                           return "ncpus" + std::to_string(param_info.param);
                          });
 
 // The planted tlbie bug must be just as catchable — and just as minimizable — on a

@@ -131,6 +131,134 @@ TEST(MmuLintFixtures, SmpIpiRuleFiresAtStagedLines) {
                 });
 }
 
+TEST(MmuLintFixtures, FlushContractFiresAtStagedLines) {
+  // ZapFlushed (same-body tlbie), ZapVia (flush one call-graph hop down) and ZapDeferred
+  // (annotated with a reason) must all stay quiet; the bare insert, the reason-less
+  // marker, and the self-flushing SegmentRegs::Set without a generation_ bump must not.
+  ExpectExactly(RunFixture("flushcontract", "FLUSH"),
+                {
+                    {"src/mmu/segment_regs.cc", 3, "FLUSH-CONTRACT-029"},
+                    {"src/mmu/zapper.cc", 7, "FLUSH-CONTRACT-029"},
+                    {"src/mmu/zapper.cc", 35, "FLUSH-CONTRACT-029"},
+                    {"src/mmu/zapper.cc", 36, "FLUSH-CONTRACT-029"},
+                });
+}
+
+TEST(MmuLintFixtures, FlushContractSuggestsNearestPrimitive) {
+  // The fix line is part of the contract: it must name the concrete flush primitive for
+  // the mutated structure, not a generic "add a flush".
+  const mmulint::LintResult result = RunFixture("flushcontract", "FLUSH");
+  bool found = false;
+  for (const auto& d : result.diagnostics) {
+    if (d.file == "src/mmu/zapper.cc" && d.line == 7) {
+      found = true;
+      EXPECT_EQ(d.fix,
+                "invalidate the displaced translation via Mmu::TlbInvalidatePage (tlbie) "
+                "or route the update through FlushEngine (src/kernel/flush.cc)");
+    }
+  }
+  EXPECT_TRUE(found) << "staged ZapOne violation missing";
+}
+
+TEST(MmuLintFixtures, HotClosureFiresWithWitnessPath) {
+  // Grow is registered nowhere but reachable from the hot root Tlb::LookupPtr, so its
+  // allocation fires; DebugDump allocates too but is unreachable and must stay quiet.
+  const mmulint::LintResult result = RunFixture("hotclosure", "HOT-CLOSURE");
+  ExpectExactly(result, {{"src/mmu/tlb.h", 14, "HOT-CLOSURE-030"}});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("Tlb::LookupPtr -> Tlb::Grow"),
+            std::string::npos)
+      << result.diagnostics[0].message;
+}
+
+TEST(MmuLintFixtures, SmpConfineFiresAtStagedLines) {
+  // The argless itlb() spotlight view and the registered ShootdownRound gateway must stay
+  // quiet; the remote charge and the per-CPU accessor outside a gateway must not.
+  ExpectExactly(RunFixture("smpconfine", "SMP-CONFINE"),
+                {
+                    {"src/kernel/flush2.cc", 7, "SMP-CONFINE-031"},
+                    {"src/kernel/flush2.cc", 12, "SMP-CONFINE-031"},
+                });
+}
+
+TEST(MmuLintFixtures, AttrCoverFiresAtStagedLines) {
+  // Mmap (scope before charge and call), ChargeBody (only entered scoped) and UserExecute
+  // (ambient with a reason) must stay quiet; the unscoped entry point, the transitively
+  // unscoped helper, and the reason-less ambient marker must not.
+  const mmulint::LintResult result = RunFixture("attrcover", "ATTR");
+  ExpectExactly(result,
+                {
+                    {"src/kernel/syscalls.cc", 8, "ATTR-COVER-032"},
+                    {"src/kernel/syscalls.cc", 30, "ATTR-COVER-032"},
+                    {"src/kernel/syscalls.cc", 41, "ATTR-COVER-032"},
+                });
+  // The transitive finding must name the entry point the unattributed path starts at.
+  for (const auto& d : result.diagnostics) {
+    if (d.line == 30) {
+      EXPECT_NE(d.message.find("unattributed path from Kernel::Yield"), std::string::npos)
+          << d.message;
+    }
+  }
+}
+
+TEST(MmuLintCallGraph, FixtureGraphHasExpectedShapes) {
+  mmulint::LintConfig config;
+  config.root = std::string(PPCMM_LINT_FIXTURES) + "/callgraph";
+  std::vector<std::string> errors;
+  const std::string json = mmulint::DumpCallGraph(config, "json", &errors);
+  for (const std::string& error : errors) {
+    ADD_FAILURE() << "dump error: " << error;
+  }
+  const auto has = [&](const std::string& needle) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing: " << needle << "\n" << json;
+  };
+  // Overloads merge into one node with two defs…
+  has("\"id\": \"Widget::Spin\",\n      \"class\": \"Widget\",\n      \"name\": \"Spin\",\n"
+      "      \"defs\": 2");
+  // …and the zero-arg overload's call to its sibling lands on the merged node.
+  has("{\"callee\": \"Widget::Spin\", \"line\": 14, \"kind\": \"same-class\"}");
+  // Receiver type inferred from a `Widget&` parameter, not the member table.
+  has("{\"callee\": \"Widget::Spin\", \"line\": 37, \"kind\": \"member\"}");
+  // Direct recursion is a self-edge.
+  has("{\"callee\": \"Widget::Unwind\", \"line\": 32, \"kind\": \"same-class\"}");
+  // A two-function cycle survives, resolved by unique global name.
+  has("{\"callee\": \"PongStage\", \"line\": 43, \"kind\": \"unique\"}");
+  has("{\"callee\": \"PingStage\", \"line\": 49, \"kind\": \"unique\"}");
+
+  // The DOT form renders the same graph for the CI artifact; spot-check an edge.
+  const std::string dot = mmulint::DumpCallGraph(config, "dot", &errors);
+  EXPECT_NE(dot.find("\"PingStage\" -> \"PongStage\""), std::string::npos) << dot;
+
+  // Unknown formats are an error, not silent empty output.
+  std::vector<std::string> bad_errors;
+  EXPECT_TRUE(mmulint::DumpCallGraph(config, "xml", &bad_errors).empty());
+  EXPECT_EQ(bad_errors.size(), 1u);
+}
+
+TEST(MmuLintBaseline, AutoBaselineSuppressesAcceptedFindings) {
+  // The fixture's tools/mmu-lint/baseline.txt accepts the staged unflushed write, so the
+  // tree lints clean with no --baseline flag at all.
+  ExpectExactly(RunFixture("baseline", "FLUSH"), {});
+}
+
+TEST(MmuLintBaseline, StaleAndMalformedEntriesAreErrors) {
+  mmulint::LintConfig config;
+  config.root = std::string(PPCMM_LINT_FIXTURES) + "/baseline";
+  config.rule_prefixes.push_back("FLUSH");
+  config.baseline_path = std::string(PPCMM_LINT_FIXTURES) + "/baseline/stale.txt";
+  const mmulint::LintResult result = mmulint::RunLint(config);
+  // The explicit baseline matches nothing, so the staged finding comes back…
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].file, "src/mmu/writer.cc");
+  EXPECT_EQ(result.diagnostics[0].rule, "FLUSH-CONTRACT-029");
+  // …and both the stale entry and the malformed one are hard errors.
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_NE(result.errors[0].find("malformed baseline entry"), std::string::npos)
+      << result.errors[0];
+  EXPECT_NE(result.errors[1].find("stale baseline entry"), std::string::npos)
+      << result.errors[1];
+}
+
 TEST(MmuLintFixtures, CounterRulesFireAtStagedLines) {
   // The fixture's tiny X-macro list is the source of truth, so the real tree's
   // hw.htab_hits must be flagged here; the markdown suppression must hold.
@@ -170,7 +298,8 @@ TEST(MmuLintFixtures, EveryListedRuleIsExercisedByAFixture) {
   // lines; this test catches a NEW rule added without fixture coverage).
   std::set<std::string> fired;
   for (const char* fixture : {"layering", "determinism", "hotpath", "smp", "counters",
-                              "xmacro"}) {
+                              "xmacro", "flushcontract", "hotclosure", "smpconfine",
+                              "attrcover"}) {
     for (const auto& d : RunFixture(fixture, "").diagnostics) {
       fired.insert(d.rule);
     }

@@ -1,0 +1,51 @@
+// Call-graph builder corpus: overload merging, receiver inference through a reference
+// parameter, recursion, and a two-function cycle. Asserted via --callgraph-dump json in
+// lint_test — there are no staged rule violations here.
+
+class Widget {
+ public:
+  void Spin();
+  void Spin(uint32_t turns);
+  uint32_t Unwind(uint32_t depth);
+};
+
+// Overloads merge into one node (defs: 2); the zero-arg form calls its sibling.
+void Widget::Spin() {
+  Spin(1);
+}
+
+void Widget::Spin(uint32_t turns) {
+  for (uint32_t i = 0; i < turns; ++i) {
+    Step();
+  }
+}
+
+void Widget::Step() {
+  ticks_ += 1;
+}
+
+// Direct recursion: a self-edge.
+uint32_t Widget::Unwind(uint32_t depth) {
+  if (depth == 0) {
+    return 0;
+  }
+  return Unwind(depth - 1);
+}
+
+// Free function; the receiver type comes from the declared parameter, not a member table.
+void Drive(Widget& widget) {
+  widget.Spin(3);
+}
+
+// A cycle between two free functions, resolved by unique global name.
+void PingStage(uint32_t depth) {
+  if (depth != 0) {
+    PongStage(depth - 1);
+  }
+}
+
+void PongStage(uint32_t depth) {
+  if (depth != 0) {
+    PingStage(depth - 1);
+  }
+}

@@ -1,0 +1,5 @@
+// SegmentRegs::Set is registered self-flushing in FlushMutators(); this copy forgets the
+// generation bump, so the registration itself is the violation — at the definition line.
+void SegmentRegs::Set(uint32_t index, SegmentRegister value) {
+  sr_[index] = value;
+}

@@ -1,0 +1,20 @@
+// HOT-CLOSURE-030 corpus. Tlb::LookupPtr is a registered hot root (HotFunctions() in
+// rules.cc); Grow is only reachable THROUGH it, so the allocation inside Grow violates the
+// closure rule even though Grow itself is registered nowhere. DebugDump allocates too but
+// is unreachable from any hot root and must stay quiet.
+
+inline TlbEntry* Tlb::LookupPtr(VirtPage vp) {
+  if (full_) {
+    Grow();
+  }
+  return Probe(vp);
+}
+
+inline void Tlb::Grow() {
+  entries_ = new TlbEntry[64];
+}
+
+inline void Tlb::DebugDump() {
+  char* scratch = new char[256];
+  Render(scratch);
+}

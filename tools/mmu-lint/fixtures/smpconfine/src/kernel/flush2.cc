@@ -1,0 +1,29 @@
+// SMP-CONFINE-031 corpus: per-CPU state touched outside the spotlight/shootdown gateways.
+// There is deliberately no src/kernel/kernel.cc here, so the gateway-staleness check stays
+// out of the way and only the token confinement is under test.
+
+// Violation: charging a remote CPU's ledger outside any gateway.
+void Balancer::Rebalance(uint32_t cpu) {
+  machine_.AddCyclesOn(cpu, Cycles(10));
+}
+
+// Violation: the per-CPU accessor form reads a remote TLB bank outside any gateway.
+void Balancer::PeekRemote(uint32_t cpu) {
+  const Tlb& remote = machine_.mmu().itlb(cpu);
+  Count(remote);
+}
+
+// Quiet: the argless accessor is the spotlight CPU's own view.
+void Balancer::PeekLocal() {
+  const Tlb& local = machine_.mmu().itlb();
+  Count(local);
+}
+
+// Quiet: ShootdownRound is a registered gateway — the IPI protocol is exactly where
+// remote banks are allowed to change.
+void FlushEngine::ShootdownRound(VirtPage vp) {
+  for (uint32_t cpu = 0; cpu < smp_.cpus; ++cpu) {
+    machine_.AddCyclesOn(cpu, Cycles(32));
+    machine_.mmu().dtlb(cpu).Invalidate(vp);
+  }
+}

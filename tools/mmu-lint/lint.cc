@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/mmu-lint/callgraph.h"
 #include "tools/mmu-lint/rules.h"
 #include "tools/mmu-lint/source.h"
 
@@ -91,6 +94,72 @@ void CheckRuleTableRoots(const LintConfig& config, const Tree& tree, LintResult*
   }
 }
 
+// Drops diagnostics matching baseline entries (`RULE-ID <file>  # reason` lines). A
+// baselined finding that no longer fires is stale and turns into an error — the baseline
+// may only shrink silently, never rot.
+void ApplyBaseline(const LintConfig& config, LintResult* result) {
+  const bool explicit_path = !config.baseline_path.empty();
+  const std::string path =
+      explicit_path ? config.baseline_path
+                    : (fs::path(config.root) / "tools/mmu-lint/baseline.txt").string();
+  std::ifstream in(path);
+  if (!in) {
+    if (explicit_path) {
+      result->errors.push_back("cannot open baseline file " + path);
+    }
+    return;  // no auto-baseline in this tree: nothing to subtract
+  }
+  struct Entry {
+    std::string rule, file;
+    uint32_t line_no;
+    bool used = false;
+  };
+  std::vector<Entry> entries;
+  std::string line;
+  uint32_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    Entry entry;
+    entry.line_no = line_no;
+    if (!(fields >> entry.rule >> entry.file)) {
+      continue;  // blank or comment-only line
+    }
+    std::string extra;
+    if (fields >> extra) {
+      result->errors.push_back(path + ":" + std::to_string(line_no) +
+                               ": malformed baseline entry (want `RULE-ID <file>  # reason`)");
+      continue;
+    }
+    entries.push_back(entry);
+  }
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : result->diagnostics) {
+    bool matched = false;
+    for (Entry& entry : entries) {
+      if (entry.rule == d.rule && entry.file == d.file) {
+        entry.used = true;
+        matched = true;
+      }
+    }
+    if (!matched) {
+      kept.push_back(d);
+    }
+  }
+  result->diagnostics = std::move(kept);
+  for (const Entry& entry : entries) {
+    if (!entry.used) {
+      result->errors.push_back(path + ":" + std::to_string(entry.line_no) +
+                               ": stale baseline entry `" + entry.rule + " " + entry.file +
+                               "`: no such finding anymore — delete the line");
+    }
+  }
+}
+
 }  // namespace
 
 LintResult RunLint(const LintConfig& config) {
@@ -106,8 +175,28 @@ LintResult RunLint(const LintConfig& config) {
   CheckHotPaths(config, tree, &result.diagnostics);
   CheckSmp(config, tree, &result.diagnostics);
   CheckCounters(config, tree, &result.diagnostics);
+  const CallGraph graph = BuildCallGraph(tree);
+  CheckGraphRules(config, tree, graph, &result);
   std::sort(result.diagnostics.begin(), result.diagnostics.end());
+  ApplyBaseline(config, &result);
   return result;
+}
+
+std::string DumpCallGraph(const LintConfig& config, const std::string& format,
+                          std::vector<std::string>* errors) {
+  if (format != "dot" && format != "json") {
+    errors->push_back("unknown call-graph format '" + format + "' (want dot or json)");
+    return std::string();
+  }
+  LintResult result;
+  Tree tree;
+  LoadTree(config, &tree, &result);
+  if (!result.errors.empty()) {
+    errors->insert(errors->end(), result.errors.begin(), result.errors.end());
+    return std::string();
+  }
+  const CallGraph graph = BuildCallGraph(tree);
+  return format == "dot" ? CallGraphToDot(graph) : CallGraphToJson(graph);
 }
 
 }  // namespace mmulint

@@ -44,6 +44,10 @@ struct Diagnostic {
 struct LintConfig {
   std::string root;                     // repo root (absolute or relative)
   std::vector<std::string> rule_prefixes;  // empty = all rules; else keep rules matching any prefix
+  // Baseline of accepted pre-existing findings, one per line: `RULE-ID <file>  # reason`.
+  // Matching diagnostics are dropped; an entry matching nothing is stale and becomes an
+  // error. Empty: auto-loads <root>/tools/mmu-lint/baseline.txt when present.
+  std::string baseline_path;
 };
 
 struct LintResult {
@@ -54,6 +58,12 @@ struct LintResult {
 
 // Runs every enabled rule family over the tree under config.root.
 LintResult RunLint(const LintConfig& config);
+
+// Builds the src/ call graph under config.root and serializes it. `format` is "dot" or
+// "json" (--callgraph-dump); anything else, or an unreadable tree, appends to *errors and
+// returns an empty string.
+std::string DumpCallGraph(const LintConfig& config, const std::string& format,
+                          std::vector<std::string>* errors);
 
 // All known rule IDs with their one-line descriptions, for --list-rules.
 std::vector<std::pair<std::string, std::string>> ListRules();

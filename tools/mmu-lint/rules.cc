@@ -234,6 +234,153 @@ const std::vector<std::string>& SmpIpiAllowlist() {
   return kAllow;
 }
 
+const std::vector<ReceiverType>& ReceiverTypes() {
+  // Member/variable names whose class is fixed by convention across the tree. The builder
+  // falls back to `Class&`/`Class*` parameter and local-declaration inference for names
+  // not listed here; an unknown receiver produces no edge at all.
+  static const std::vector<ReceiverType> kReceivers = {
+      {"machine_", "Machine"},
+      {"machine", "Machine"},
+      {"mmu_", "Mmu"},
+      {"htab_", "HashTable"},
+      {"htab", "HashTable"},
+      {"itlb", "Tlb"},
+      {"dtlb", "Tlb"},
+      {"tlb", "Tlb"},
+      {"ibats_", "BatArray"},
+      {"dbats_", "BatArray"},
+      {"bats", "BatArray"},
+      {"segments", "SegmentRegs"},
+      {"backing_", "PteBackingSource"},
+      {"page_table", "PageTable"},
+      {"kernel_page_table_", "PageTable"},
+      {"table", "PageTable"},
+      {"mem_", "MemManager"},
+      {"page_cache_", "PageCache"},
+      {"flusher_", "FlushEngine"},
+      {"vsids_", "VsidSpace"},
+      {"allocator_", "PageAllocator"},
+      {"scheduler_", "Scheduler"},
+  };
+  return kReceivers;
+}
+
+const std::vector<ReceiverType>& MethodReturnTypes() {
+  // Accessor methods whose return type anchors a chained call: `mmu_->htab().Insert(...)`.
+  static const std::vector<ReceiverType> kMethods = {
+      {"machine", "Machine"},   {"mmu", "Mmu"},
+      {"htab", "HashTable"},    {"segments", "SegmentRegs"},
+      {"itlb", "Tlb"},          {"dtlb", "Tlb"},
+      {"counters", "HwCounters"}, {"memory", "PhysicalMemory"},
+      {"allocator", "PageAllocator"}, {"task", "Task"},
+      {"mem", "MemManager"},    {"page_cache", "PageCache"},
+      {"flusher", "FlushEngine"}, {"vsids", "VsidSpace"},
+  };
+  return kMethods;
+}
+
+const std::vector<FlushMutator>& FlushMutators() {
+  // PageTable::Map is deliberately absent: mapping a previously-invalid page cannot leave
+  // a stale positive translation in any TLB (the paper's invariant concerns entries that
+  // were visible). HashTable::MarkChanged only sets the C bit, which is a strengthening
+  // write the TLBs already agree with.
+  static const std::vector<FlushMutator> kMutators = {
+      {"PageTable::Update", "the PTE tree", false,
+       "pair the PTE write with FlushEngine::FlushPage/FlushRange (src/kernel/flush.cc), "
+       "which runs tlbie plus the IPI shootdown round"},
+      {"PageTable::Unmap", "the PTE tree", false,
+       "pair the PTE write with FlushEngine::FlushPage/FlushRange (src/kernel/flush.cc), "
+       "which runs tlbie plus the IPI shootdown round"},
+      {"HashTable::Insert", "the HTAB", false,
+       "invalidate the displaced translation via Mmu::TlbInvalidatePage (tlbie) or route "
+       "the update through FlushEngine (src/kernel/flush.cc)"},
+      {"SegmentRegs::Set", "the segment registers", true, ""},
+      {"SegmentRegs::LoadAll", "the segment registers", true, ""},
+      {"SegmentRegs::LoadUserSegments", "the segment registers", true, ""},
+  };
+  return kMutators;
+}
+
+const std::vector<std::string>& FlushPrimitives() {
+  // HashTable::InvalidatePage / InvalidatePteg are intentionally NOT primitives: evicting
+  // the PTE from the HTAB leaves the TLB copy live — only a tlbie (TlbInvalidate*), the
+  // IPI shootdown path, or VSID retirement (stale entries become architecturally
+  // unreachable) actually restores coherence.
+  static const std::vector<std::string> kPrimitives = {
+      "Mmu::TlbInvalidatePage",       "Mmu::TlbInvalidateAll",
+      "Mmu::TlbInvalidateVsid",       "Mmu::ShootdownInvalidatePage",
+      "Mmu::ShootdownInvalidateAll",  "FlushEngine::FlushPage",
+      "FlushEngine::FlushRange",      "FlushEngine::FlushContext",
+      "FlushEngine::ShootdownRound",  "FlushEngine::RunDeferredFlush",
+      "FlushEngine::RolloverInvalidateAll", "VsidSpace::Retire",
+  };
+  return kPrimitives;
+}
+
+const std::vector<ClosureBoundary>& HotClosureBoundaries() {
+  static const std::vector<ClosureBoundary> kBoundaries = {
+      // No entries yet: the whole reachable closure currently passes the purity bans.
+      // Add an entry only with an audit note explaining why the descent may stop there.
+  };
+  return kBoundaries;
+}
+
+const std::vector<SmpConfinedToken>& SmpConfinedTokens() {
+  static const std::vector<SmpConfinedToken> kTokens = {
+      {"AddCyclesOn", false},   // charges another CPU's local clock
+      {"SetCurrentCpu", false}, // moves the serialized spotlight
+      {"banks_", false},        // the raw per-CPU bank vector
+      {"itlb", true},           // itlb(cpu): another CPU's TLB; itlb() is the spotlight view
+      {"dtlb", true},
+      {"segments", true},
+  };
+  return kTokens;
+}
+
+const std::vector<std::string>& SmpGateways() {
+  static const std::vector<std::string> kGateways = {
+      "Kernel::SwitchCpu",              // the spotlight switch itself
+      "Kernel::HandleVsidRollover",     // rollover reloads every CPU's segment bank
+      "Kernel::SetupKernelTranslation", // boot: kernel segments installed on every CPU
+      "Kernel::ForEachLiveTranslation", // whole-machine sweep reads every bank (read-only)
+      "FlushEngine::ShootdownRound",    // the IPI protocol: charges remote clocks
+      "FlushEngine::RunDeferredFlush",  // deferred tlbia when an idle-skipped CPU wakes
+      "FlushEngine::RolloverInvalidateAll",  // rollover's cross-CPU invalidate + charge
+  };
+  return kGateways;
+}
+
+const std::vector<std::string>& SmpConfineExemptFiles() {
+  static const std::vector<std::string> kExempt = {
+      "src/sim/machine.h",  // defines AddCyclesOn/SetCurrentCpu and the per-CPU clocks
+      "src/sim/attr.h",     // the ledger's own per-CPU spotlight hook
+      "src/mmu/mmu.h",      // defines banks_ and the per-CPU accessors
+      "src/mmu/mmu.cc",     // out-of-line bodies of the same
+  };
+  return kExempt;
+}
+
+const std::vector<std::string>& KernelEntryPoints() {
+  // The kernel's public surface: everything a workload, bench, or test can call. Ambient
+  // (unattributed = user) time flows in from here; ATTR-COVER-032 walks the graph from
+  // these roots and every AddCycles site reached without crossing a CycleScope fires.
+  static const std::vector<std::string> kRoots = {
+      "Kernel::CreateTask",    "Kernel::SwitchTo",       "Kernel::SwitchCpu",
+      "Kernel::Fork",          "Kernel::Exec",           "Kernel::Exit",
+      "Kernel::NullSyscall",   "Kernel::Mmap",           "Kernel::Munmap",
+      "Kernel::MapFramebuffer", "Kernel::SetFramebufferBat",
+      "Kernel::FileRead",      "Kernel::FileWrite",      "Kernel::ShmCreate",
+      "Kernel::ShmAttach",     "Kernel::ShmDetach",      "Kernel::ShmDestroy",
+      "Kernel::CreatePipe",    "Kernel::PipeWrite",      "Kernel::PipeRead",
+      "Kernel::PipeWriteBlocking", "Kernel::PipeReadBlocking",
+      "Kernel::Yield",         "Kernel::WakeOne",        "Kernel::WakeAll",
+      "Kernel::UserTouch",     "Kernel::UserTouchRun",   "Kernel::UserTouchRange",
+      "Kernel::UserExecute",   "Kernel::RunIdle",        "Kernel::HandlePageFault",
+      "Kernel::HandleCowFault", "Kernel::HandleVsidRollover", "Kernel::InjectZombieFlood",
+  };
+  return kRoots;
+}
+
 const std::vector<std::string>& SysGaugeNames() {
   static const std::vector<std::string> kNames = {
       "htab_utilization", "htab_valid",           "htab_live",
@@ -276,6 +423,18 @@ std::vector<std::pair<std::string, std::string>> ListRules() {
                        "registered span-validity bodies"},
       {"SMP-IPI-028", "no direct cross-CPU TLB mutation (Mmu::ShootdownInvalidate*) outside "
                       "the IPI shootdown path in src/kernel/flush.cc"},
+      {"FLUSH-CONTRACT-029", "every HTAB/PTE/segment mutation must reach a flush primitive "
+                             "(tlbie/tlbia, the IPI shootdown path, or VSID retirement) on "
+                             "the call graph, or carry a mmu-lint-deferred-flush annotation"},
+      {"HOT-CLOSURE-030", "purity bans (no alloc/throw/lock/stream-IO) hold on the whole "
+                          "call-graph closure reachable from the registered hot roots, not "
+                          "just the roots themselves"},
+      {"SMP-CONFINE-031", "per-CPU state (banks_, itlb(cpu)/dtlb(cpu)/segments(cpu), "
+                          "AddCyclesOn, SetCurrentCpu) only inside the spotlight-switch and "
+                          "shootdown gateway functions"},
+      {"ATTR-COVER-032", "every Machine::AddCycles/AddCyclesOn site in src/kernel must be "
+                         "dominated by a CycleScope on every call-graph path from the "
+                         "kernel entry points (or carry a mmu-lint-ambient annotation)"},
       {"CNT-REF-030", "every hw.<name> reference must name a real HwCounters X-macro field"},
       {"CNT-FOREACH-031", "MetricsRegistry must publish hw counters via ForEachField, not a "
                           "hand-maintained list"},

@@ -101,6 +101,63 @@ const std::vector<BannedIdent>& SmpIpiBans();
 // the flush engine that implements the IPI protocol.
 const std::vector<std::string>& SmpIpiAllowlist();
 
+// ---- Interprocedural rules (call-graph based) ----------------------------------------
+
+// Receiver-token resolution for the call-graph builder: member/variable names whose class
+// is fixed by convention across the tree (`htab_.Insert(...)` -> HashTable::Insert).
+struct ReceiverType {
+  std::string token;  // receiver identifier as written, e.g. "htab_"
+  std::string cls;    // class it holds, e.g. "HashTable"
+};
+const std::vector<ReceiverType>& ReceiverTypes();
+// Accessor-method resolution for chained calls: `mmu_->htab().Insert(...)` resolves the
+// receiver through the method in front of the parens (htab -> HashTable).
+const std::vector<ReceiverType>& MethodReturnTypes();
+
+// FLUSH-CONTRACT-029: every call to one of these mutators must reach a flush primitive.
+struct FlushMutator {
+  std::string id;         // call-graph node id, e.g. "PageTable::Update"
+  std::string structure;  // what it writes, for the diagnostic
+  // Self-flushing mutators carry their own invalidation (a generation bump in their body);
+  // callers owe nothing, but the body is verified to actually contain `generation_`.
+  bool self_flushing = false;
+  std::string flush_hint;  // fix text naming the nearest flush primitive
+};
+const std::vector<FlushMutator>& FlushMutators();
+// Call-graph node ids that count as TLB-coherence flush primitives (tlbie/tlbia wrappers,
+// the IPI shootdown path, and the lazy VSID retirement that makes stale entries
+// architecturally unreachable).
+const std::vector<std::string>& FlushPrimitives();
+
+// HOT-CLOSURE-030: transitive closure from the HotFunctions() roots, minus these audited
+// boundary functions (each with the reason it may stop the descent).
+struct ClosureBoundary {
+  std::string id;
+  std::string why;
+};
+const std::vector<ClosureBoundary>& HotClosureBoundaries();
+
+// SMP-CONFINE-031: identifiers that touch per-CPU state. `always` tokens are confined
+// wherever they appear; accessor tokens only in their per-CPU form `name(cpu)` — the
+// argless current-bank form `name()` is the sanctioned spotlight view.
+struct SmpConfinedToken {
+  std::string token;
+  bool accessor = false;  // true: only the with-args call form is confined
+};
+const std::vector<SmpConfinedToken>& SmpConfinedTokens();
+// Functions allowed to touch per-CPU state directly (the spotlight switch and the
+// shootdown/deferred-flush path), as call-graph node ids.
+const std::vector<std::string>& SmpGateways();
+// Exact file paths exempt from SMP-CONFINE-031: the definitions of the per-CPU state and
+// spotlight machinery themselves. src/verify/ is exempt wholesale (auditors and torture
+// reports legitimately inspect every CPU's bank).
+const std::vector<std::string>& SmpConfineExemptFiles();
+
+// ATTR-COVER-032: kernel entry points — the roots unattributed (ambient) cycles flow in
+// from. Every AddCycles/AddCyclesOn site reachable from here without an intervening
+// CycleScope is a hole in the "100% cycles attributed" guarantee.
+const std::vector<std::string>& KernelEntryPoints();
+
 // ---- Counter consistency (CNT-*) -----------------------------------------------------
 
 struct CounterPaths {
@@ -130,6 +187,13 @@ void CheckDeterminism(const LintConfig& config, const Tree& tree, std::vector<Di
 void CheckHotPaths(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 void CheckSmp(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
 void CheckCounters(const LintConfig& config, const Tree& tree, std::vector<Diagnostic>* out);
+
+// The four interprocedural analyses (FLUSH-CONTRACT-029, HOT-CLOSURE-030, SMP-CONFINE-031,
+// ATTR-COVER-032), in graph_rules.cc. Takes the whole LintResult so rule-table staleness
+// (a gateway or entry point no longer defined) surfaces as an error, not a silent pass.
+struct CallGraph;
+void CheckGraphRules(const LintConfig& config, const Tree& tree, const CallGraph& graph,
+                     LintResult* result);
 
 // Helper shared by checks: appends a diagnostic unless suppressed in `sf`.
 void Emit(const SourceFile& sf, uint32_t line, const std::string& rule, const std::string& message,

@@ -113,6 +113,40 @@ void ParseSuppressions(const std::string& raw, std::map<uint32_t, std::set<std::
   }
 }
 
+// Parses `mmu-lint-<marker>(RULE-ID): reason` annotations out of the raw text. The reason
+// runs to end of line, trimmed; missing-or-empty reasons are kept as empty strings so the
+// checks can flag them instead of silently honouring a bare annotation.
+void ParseAnnotations(const std::string& raw, const std::string& marker,
+                      std::vector<SourceFile::Annotation>* out) {
+  const std::string prefix = "mmu-lint-" + marker + "(";
+  size_t pos = 0;
+  while ((pos = raw.find(prefix, pos)) != std::string::npos) {
+    const size_t open = pos + prefix.size() - 1;
+    const size_t close = raw.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    SourceFile::Annotation ann;
+    ann.line = LineOf(raw, pos);
+    ann.pos = pos;
+    ann.rule = raw.substr(open + 1, close - open - 1);
+    size_t r = close + 1;
+    if (r < raw.size() && raw[r] == ':') {
+      ++r;
+    }
+    size_t eol = raw.find('\n', r);
+    if (eol == std::string::npos) {
+      eol = raw.size();
+    }
+    std::string reason = raw.substr(r, eol - r);
+    const size_t b = reason.find_first_not_of(" \t");
+    const size_t e = reason.find_last_not_of(" \t");
+    ann.reason = b == std::string::npos ? "" : reason.substr(b, e - b + 1);
+    out->push_back(ann);
+    pos = close;
+  }
+}
+
 void ParseIncludes(const SourceFile& sf, std::vector<Include>* includes) {
   size_t pos = 0;
   const std::string& text = sf.code_with_strings;
@@ -157,6 +191,17 @@ bool SourceFile::Suppressed(uint32_t line, const std::string& rule) const {
   return false;
 }
 
+const SourceFile::Annotation* SourceFile::AnnotationIn(const std::vector<Annotation>& list,
+                                                       size_t begin, size_t end,
+                                                       const std::string& rule) {
+  for (const Annotation& ann : list) {
+    if (ann.pos >= begin && ann.pos < end && ann.rule == rule) {
+      return &ann;
+    }
+  }
+  return nullptr;
+}
+
 bool LoadSource(const std::string& fs_path, const std::string& rel_path, SourceFile* out,
                 std::string* error) {
   std::ifstream in(fs_path, std::ios::binary);
@@ -170,6 +215,8 @@ bool LoadSource(const std::string& fs_path, const std::string& rel_path, SourceF
   out->raw = buf.str();
   Strip(out->raw, &out->code, &out->code_with_strings);
   ParseSuppressions(out->raw, &out->allow);
+  ParseAnnotations(out->raw, "deferred-flush", &out->deferred_flush);
+  ParseAnnotations(out->raw, "ambient", &out->ambient);
   ParseIncludes(*out, &out->includes);
   return true;
 }

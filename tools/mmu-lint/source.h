@@ -36,7 +36,26 @@ struct SourceFile {
   // line N silences matching diagnostics on lines N and N+1 ("*" silences every rule).
   std::map<uint32_t, std::set<std::string>> allow;
 
+  // Function-level contract annotations, parsed from the raw text (they live in comments):
+  //   // mmu-lint-deferred-flush(FLUSH-CONTRACT-029): <reason>
+  //   // mmu-lint-ambient(ATTR-COVER-032): <reason>
+  // An annotation applies to the function definition whose [name, body-end] byte range
+  // contains it — put it on the signature line or inside the body. The reason is required;
+  // an empty one is reported as a violation of the annotated rule, not silently honoured.
+  struct Annotation {
+    uint32_t line = 0;
+    size_t pos = 0;  // byte offset of the marker (raw and stripped views share offsets)
+    std::string rule;
+    std::string reason;
+  };
+  std::vector<Annotation> deferred_flush;  // mmu-lint-deferred-flush markers
+  std::vector<Annotation> ambient;         // mmu-lint-ambient markers
+
   bool Suppressed(uint32_t line, const std::string& rule) const;
+
+  // First annotation in `list` whose marker lies in [begin, end) and names `rule`.
+  static const Annotation* AnnotationIn(const std::vector<Annotation>& list, size_t begin,
+                                        size_t end, const std::string& rule);
 };
 
 // Loads and strips one file. Returns false (and fills *error) if unreadable.
